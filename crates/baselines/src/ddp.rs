@@ -1,0 +1,136 @@
+//! PyTorch DistributedDataParallel baseline.
+
+use cannikin_core::engine::{EpochRecord, NoiseModel};
+use cannikin_core::gns::statistical_efficiency;
+use cannikin_core::optperf::even_split;
+use hetsim::Simulator;
+
+/// Fixed-batch, even-split distributed training — the strongest
+/// *non-adaptive homogeneous* baseline (§5.1).
+///
+/// DDP is unaware of heterogeneity (every rank gets `B/n` samples) and of
+/// statistical efficiency (the total batch never changes), so in a
+/// heterogeneous cluster every batch waits for the slowest node.
+pub struct DdpTrainer {
+    sim: Simulator,
+    noise: Box<dyn NoiseModel>,
+    dataset_size: usize,
+    total_batch: u64,
+    base_batch: u64,
+    epoch: usize,
+    effective_epochs: f64,
+    cumulative_time: f64,
+}
+
+impl DdpTrainer {
+    /// Create a DDP run with a fixed `total_batch`. `base_batch` is the
+    /// statistical reference B₀ (usually equal to `total_batch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_batch` cannot give every node one sample.
+    pub fn new(sim: Simulator, noise: Box<dyn NoiseModel>, dataset_size: usize, total_batch: u64, base_batch: u64) -> Self {
+        assert!(total_batch >= sim.cluster().len() as u64, "total batch must cover every node");
+        DdpTrainer {
+            sim,
+            noise,
+            dataset_size,
+            total_batch,
+            base_batch,
+            epoch: 0,
+            effective_epochs: 0.0,
+            cumulative_time: 0.0,
+        }
+    }
+
+    /// Run one epoch.
+    pub fn run_epoch(&mut self) -> EpochRecord {
+        let n = self.sim.cluster().len();
+        let phi = self.noise.noise_scale(self.effective_epochs);
+        let local = even_split(self.total_batch, n);
+        let steps = (self.dataset_size / self.total_batch as usize).max(1);
+        let trace = self.sim.simulate_epoch(&local, steps);
+        let efficiency = statistical_efficiency(phi, self.base_batch, self.total_batch);
+        self.effective_epochs += steps as f64 * self.total_batch as f64 * efficiency / self.dataset_size as f64;
+        self.cumulative_time += trace.epoch_time;
+        let record = EpochRecord {
+            epoch: self.epoch,
+            total_batch: self.total_batch,
+            local_batches: local,
+            steps,
+            accumulation: 1,
+            epoch_time: trace.epoch_time,
+            mean_batch_time: trace.mean_batch_time(),
+            noise_scale: phi,
+            efficiency,
+            effective_epochs: self.effective_epochs,
+            cumulative_time: self.cumulative_time,
+            overhead_seconds: 0.0,
+            pattern: None,
+            used_model: false,
+        };
+        self.epoch += 1;
+        record
+    }
+
+    /// Run until `target` effective epochs or `max_epochs`.
+    pub fn train_until(&mut self, target: f64, max_epochs: usize) -> Vec<EpochRecord> {
+        let mut out = Vec::new();
+        while self.effective_epochs < target && out.len() < max_epochs {
+            out.push(self.run_epoch());
+        }
+        out
+    }
+
+    /// Run a fixed number of epochs.
+    pub fn run_epochs(&mut self, n: usize) -> Vec<EpochRecord> {
+        (0..n).map(|_| self.run_epoch()).collect()
+    }
+}
+
+impl std::fmt::Debug for DdpTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DdpTrainer(B={}, epoch {})", self.total_batch, self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cannikin_core::engine::LinearNoiseGrowth;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::{ClusterSpec, NodeSpec};
+    use hetsim::job::JobSpec;
+
+    fn sim() -> Simulator {
+        let cluster = ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        );
+        Simulator::new(cluster, JobSpec::resnet50_imagenet(), 3)
+    }
+
+    #[test]
+    fn split_is_always_even() {
+        let noise = Box::new(LinearNoiseGrowth { initial: 100.0, rate: 0.5 });
+        let mut t = DdpTrainer::new(sim(), noise, 10_000, 120, 120);
+        for _ in 0..3 {
+            let r = t.run_epoch();
+            assert_eq!(r.total_batch, 120);
+            assert_eq!(r.local_batches, vec![40, 40, 40]);
+            assert!((r.efficiency - 1.0).abs() < 1e-12, "B = B0 gives unit efficiency");
+        }
+    }
+
+    #[test]
+    fn progress_accumulates() {
+        let noise = Box::new(LinearNoiseGrowth { initial: 100.0, rate: 0.5 });
+        let mut t = DdpTrainer::new(sim(), noise, 10_000, 120, 120);
+        let records = t.train_until(2.0, 50);
+        assert!(records.last().unwrap().effective_epochs >= 2.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # cannikin-baselines — the comparison systems of the evaluation (§5.1)
+//!
+//! Re-implementations of the four baselines Cannikin is measured against,
+//! all driving the same [`hetsim::Simulator`] and producing the same
+//! [`cannikin_core::engine::EpochRecord`]s so that every figure harness
+//! can compare like for like:
+//!
+//! - [`DdpTrainer`] — PyTorch DistributedDataParallel: fixed total batch,
+//!   even local split, no adaptation of any kind.
+//! - [`AdaptdlTrainer`] — AdaptDL/Pollux: goodput-adaptive *total* batch
+//!   size, but the homogeneous assumption keeps local splits even — in a
+//!   heterogeneous cluster its batch time equals DDP's for the same total.
+//! - [`LbBspTrainer`] — LB-BSP: fixed total batch, local splits tuned
+//!   iteratively (step size Δ = 5, as in the paper's experiments) toward
+//!   equal compute times; no communication/computation-overlap model.
+//! - [`HetPipeTrainer`] — HetPipe: pipelined model parallelism with
+//!   speed-proportional stage partitioning; excellent utilization but a
+//!   pipeline-fill bubble and a fixed batch size.
+
+mod adaptdl;
+mod ddp;
+mod hetpipe;
+mod lbbsp;
+
+pub use adaptdl::AdaptdlTrainer;
+pub use ddp::DdpTrainer;
+pub use hetpipe::HetPipeTrainer;
+pub use lbbsp::LbBspTrainer;
+
+use cannikin_core::engine::EpochRecord;
+
+/// Convergence summary shared by all trainers: the wall-clock time at
+/// which a run first crossed `target` effective epochs, if it did.
+pub fn time_to_target(records: &[EpochRecord], target: f64) -> Option<f64> {
+    records.iter().find(|r| r.effective_epochs >= target).map(|r| r.cumulative_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(effective: f64, time: f64) -> EpochRecord {
+        EpochRecord {
+            epoch: 0,
+            total_batch: 64,
+            local_batches: vec![64],
+            steps: 1,
+            accumulation: 1,
+            epoch_time: time,
+            mean_batch_time: time,
+            noise_scale: 1.0,
+            efficiency: 1.0,
+            effective_epochs: effective,
+            cumulative_time: time,
+            overhead_seconds: 0.0,
+            pattern: None,
+            used_model: false,
+        }
+    }
+
+    #[test]
+    fn time_to_target_finds_first_crossing() {
+        let records = vec![rec(0.5, 10.0), rec(1.2, 20.0), rec(2.0, 30.0)];
+        assert_eq!(time_to_target(&records, 1.0), Some(20.0));
+        assert_eq!(time_to_target(&records, 5.0), None);
+    }
+}

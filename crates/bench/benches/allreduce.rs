@@ -1,0 +1,64 @@
+//! Criterion bench: the in-process bucketed ring all-reduce.
+//!
+//! Measures the functional collective (threads + channels) across payload
+//! sizes and world sizes — the substrate under the parallel trainer.
+
+use cannikin_collectives::CommGroup;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::thread;
+
+fn run_all_reduce(world: usize, len: usize, buckets: usize) {
+    let comms = CommGroup::create(world);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|comm| {
+            thread::spawn(move || {
+                let mut data = vec![comm.rank() as f32 + 1.0; len];
+                if buckets <= 1 {
+                    comm.all_reduce_sum(&mut data);
+                } else {
+                    comm.all_reduce_buckets(&mut data, buckets);
+                }
+                data[0]
+            })
+        })
+        .collect();
+    for h in handles {
+        black_box(h.join().expect("rank"));
+    }
+}
+
+fn bench_payloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_all_reduce_4ranks");
+    for len in [1_000usize, 100_000, 1_000_000] {
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| run_all_reduce(4, len, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_world_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_all_reduce_100k_floats");
+    for world in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| run_all_reduce(world, 100_000, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bucketed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucketed_vs_flat_1m_floats");
+    for buckets in [1usize, 10, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &buckets| {
+            b.iter(|| run_all_reduce(4, 1_000_000, buckets));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payloads, bench_world_sizes, bench_bucketed);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: end-to-end epoch machinery.
+//!
+//! One Cannikin control-loop epoch on the 16-GPU cluster B (simulated
+//! batches + analyzer + solver + goodput selection) and one epoch of the
+//! *functional* thread-parallel trainer with real gradients.
+
+use cannikin_core::engine::parallel::{ParallelConfig, ParallelTrainer};
+use cannikin_core::engine::{CannikinTrainer, TrainerConfig};
+use cannikin_workloads::{clusters, profiles};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::Simulator;
+use minidnn::data::gaussian_blobs;
+use minidnn::lr::LrScaler;
+use minidnn::models::mlp_classifier;
+use std::hint::black_box;
+
+fn bench_simulated_epoch(c: &mut Criterion) {
+    c.bench_function("cannikin_epoch_cluster_b_cifar", |b| {
+        b.iter_with_setup(
+            || {
+                let profile = profiles::cifar10_resnet18();
+                let cluster = clusters::cluster_b();
+                let sim = Simulator::new(cluster, profile.job.clone(), 3);
+                let config = TrainerConfig::new(10_000, 64, 2048);
+                CannikinTrainer::new(sim, Box::new(profile.noise), config)
+            },
+            |mut trainer| {
+                for _ in 0..4 {
+                    black_box(trainer.run_epoch().expect("epoch"));
+                }
+            },
+        );
+    });
+}
+
+fn bench_parallel_epoch(c: &mut Criterion) {
+    c.bench_function("parallel_trainer_epoch_2ranks", |b| {
+        b.iter_with_setup(
+            || {
+                let ds = gaussian_blobs(256, 4, 10, 3);
+                let config = ParallelConfig {
+                    slowdowns: vec![1.0, 1.0],
+                    base_batch: 32,
+                    max_batch: 64,
+                    adaptive: false,
+                    base_lr: 0.05,
+                    lr_scaler: LrScaler::AdaScale,
+                    seed: 5,
+                };
+                ParallelTrainer::new(ds, |seed| mlp_classifier(10, 16, 4, seed), config)
+            },
+            |mut trainer| {
+                black_box(trainer.run_epoch());
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench_simulated_epoch, bench_parallel_epoch);
+criterion_main!(benches);

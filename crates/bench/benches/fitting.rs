@@ -1,0 +1,57 @@
+//! Criterion bench: the measurement layer — trace ingestion and model
+//! fitting (the per-batch cost Cannikin adds to every training step).
+
+use cannikin_core::perf::{Analyzer, MeasurementAggregation};
+use cannikin_workloads::clusters;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::Simulator;
+use std::hint::black_box;
+
+fn bench_observe_batch(c: &mut Criterion) {
+    let profile = profiles::resolved();
+    let cluster = clusters::cluster_b();
+    let mut sim = Simulator::new(cluster, profile.job.clone(), 7);
+    let trace = sim.simulate_batch(&[16; 16]);
+    c.bench_function("analyzer_observe_batch_16nodes", |b| {
+        let mut analyzer = Analyzer::new(16, MeasurementAggregation::InverseVariance);
+        b.iter(|| {
+            analyzer.observe_batch(black_box(&trace));
+        });
+    });
+}
+
+fn bench_solver_input(c: &mut Criterion) {
+    let profile = profiles::resolved();
+    let cluster = clusters::cluster_b();
+    let mut sim = Simulator::new(cluster, profile.job.clone(), 8);
+    let mut analyzer = Analyzer::new(16, MeasurementAggregation::InverseVariance);
+    for split in [vec![16u64; 16], vec![24; 16], vec![12; 16]] {
+        for _ in 0..20 {
+            analyzer.observe_batch(&sim.simulate_batch(&split));
+        }
+    }
+    c.bench_function("analyzer_fit_solver_input_16nodes", |b| {
+        b.iter(|| black_box(analyzer.solver_input().expect("ready")));
+    });
+}
+
+fn bench_simulate_batch(c: &mut Criterion) {
+    let profile = profiles::resolved();
+    let cluster = clusters::cluster_b();
+    let mut sim = Simulator::new(cluster, profile.job.clone(), 9);
+    c.bench_function("hetsim_simulate_batch_16nodes", |b| {
+        b.iter(|| black_box(sim.simulate_batch(black_box(&[32; 16]))));
+    });
+}
+
+mod profiles {
+    pub use cannikin_workloads::profiles::*;
+
+    /// The representative workload used across the fitting benches.
+    pub fn resolved() -> cannikin_workloads::WorkloadProfile {
+        imagenet_resnet50()
+    }
+}
+
+criterion_group!(benches, bench_observe_batch, bench_solver_input, bench_simulate_batch);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: heterogeneous gradient-noise-scale estimation.
+//!
+//! The Theorem 4.1 weights require solving two n×n linear systems per
+//! batch; this bench shows that cost is negligible next to a training
+//! step even at 64 nodes.
+
+use cannikin_core::gns::{estimate_gns, optimal_weights, Aggregation, GradientSample, WeightKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn samples(n: usize) -> Vec<GradientSample> {
+    (0..n)
+        .map(|i| GradientSample {
+            local_batch: 4 + (i as u64 % 13) * 3,
+            local_sq_norm: 1.0 + 0.1 * (i as f64),
+        })
+        .collect()
+}
+
+fn bench_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem41_weights");
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let b: Vec<f64> = (0..n).map(|i| 4.0 + (i % 13) as f64 * 3.0).collect();
+            let total: f64 = b.iter().sum();
+            bench.iter(|| {
+                black_box(optimal_weights(black_box(&b), total, WeightKind::GradNorm).expect("weights"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_gns");
+    for (label, aggregation) in [("min_variance", Aggregation::MinimumVariance), ("naive", Aggregation::NaiveMean)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &aggregation, |bench, &agg| {
+            let s = samples(16);
+            bench.iter(|| black_box(estimate_gns(black_box(&s), 1.05, agg).expect("estimate")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weights, bench_estimate);
+criterion_main!(benches);

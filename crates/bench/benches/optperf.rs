@@ -1,0 +1,77 @@
+//! Criterion bench: the OptPerf solver (Algorithm 1).
+//!
+//! Covers the paper's complexity claims (§4.2): the per-candidate solve is
+//! `O((n+1)³)` from the equal-finish linear systems, the boundary search
+//! adds `O(log n)`, and a warm-started re-solve costs a single
+//! verification.
+
+use cannikin_core::optperf::{NodePerf, OptPerfSolver, SolverInput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Synthetic n-node heterogeneous input with a 4x speed spread.
+fn synthetic_input(n: usize) -> SolverInput {
+    let nodes = (0..n)
+        .map(|i| {
+            let speed = 1.0 + 3.0 * (i as f64 / (n.max(2) - 1) as f64);
+            NodePerf {
+                q: 0.4e-3 / speed + 0.05e-3,
+                s: 2e-3 + 0.3e-3 * (i % 3) as f64,
+                k: 0.8e-3 / speed,
+                m: 1e-3,
+                max_batch: None,
+            }
+        })
+        .collect();
+    SolverInput { nodes, gamma: 0.12, t_o: 20e-3, t_u: 2e-3 }
+}
+
+fn bench_solve_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optperf_solve_cold");
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let input = synthetic_input(n);
+            b.iter(|| {
+                let mut solver = OptPerfSolver::new(input.clone());
+                black_box(solver.solve(black_box(64 * n as u64)).expect("feasible"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optperf_solve_warm");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut solver = OptPerfSolver::new(synthetic_input(n));
+            let _ = solver.solve(64 * n as u64);
+            let mut total = 64 * n as u64;
+            b.iter(|| {
+                // Nearby batch sizes, as the candidate sweep produces.
+                total = if total > 96 * n as u64 { 64 * n as u64 } else { total + n as u64 };
+                black_box(solver.solve(black_box(total)).expect("feasible"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_sweep(c: &mut Criterion) {
+    // The OptPerf_init pass: ~30 candidates over a 16-node cluster.
+    c.bench_function("optperf_sweep_16nodes_30candidates", |b| {
+        let input = synthetic_input(16);
+        b.iter(|| {
+            let mut solver = OptPerfSolver::new(input.clone());
+            let mut acc = 0.0;
+            for i in 0..30u64 {
+                let total = 64 + i * 128;
+                acc += solver.solve(black_box(total)).expect("feasible").opt_perf;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_solve_cold, bench_solve_warm, bench_candidate_sweep);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function returns the rendered text block that `figures` prints,
+//! so integration tests can assert on the numbers without re-parsing
+//! stdout. The experiment ids match DESIGN.md §4.
+
+mod ablations;
+mod discussion;
+mod figures;
+mod tables;
+
+pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic, multi_job};
+pub use discussion::{cluster_c_experiment, hetero_sweep};
+pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
+pub use tables::{table1, table6, table_prediction};
+
+/// Run every experiment in paper order, returning `(id, output)` pairs.
+pub fn all() -> Vec<(&'static str, String)> {
+    vec![
+        ("table1", table1()),
+        ("fig5", fig5()),
+        ("fig6", fig6()),
+        ("fig7", fig7()),
+        ("fig8", fig8()),
+        ("fig9", fig9()),
+        ("fig10", fig10()),
+        ("table_prediction", table_prediction()),
+        ("table6", table6()),
+        ("hetero_sweep", hetero_sweep()),
+        ("cluster_c", cluster_c_experiment()),
+        ("ablation_overlap", ablation_overlap()),
+        ("ablation_warm_start", ablation_warm_start()),
+        ("elastic", elastic()),
+        ("accumulation", accumulation()),
+        ("multi_job", multi_job()),
+    ]
+}
+
+/// Look up one experiment by id.
+pub fn by_id(id: &str) -> Option<String> {
+    match id {
+        "table1" => Some(table1()),
+        "fig5" => Some(fig5()),
+        "fig6" => Some(fig6()),
+        "fig7" => Some(fig7()),
+        "fig8" => Some(fig8()),
+        "fig9" => Some(fig9()),
+        "fig10" => Some(fig10()),
+        "table_prediction" => Some(table_prediction()),
+        "table6" => Some(table6()),
+        "hetero_sweep" => Some(hetero_sweep()),
+        "cluster_c" => Some(cluster_c_experiment()),
+        "ablation_overlap" => Some(ablation_overlap()),
+        "ablation_warm_start" => Some(ablation_warm_start()),
+        "elastic" => Some(elastic()),
+        "accumulation" => Some(accumulation()),
+        "multi_job" => Some(multi_job()),
+        _ => None,
+    }
+}
+
+/// Ids of every experiment, in paper order.
+pub fn ids() -> Vec<&'static str> {
+    vec![
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table_prediction",
+        "table6",
+        "hetero_sweep",
+        "cluster_c",
+        "ablation_overlap",
+        "ablation_warm_start",
+        "elastic",
+        "accumulation",
+        "multi_job",
+    ]
+}

@@ -1,0 +1,527 @@
+//! Ring all-reduce over crossbeam channels.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// Factory for a group of ring-connected [`Communicator`]s.
+#[derive(Debug)]
+pub struct CommGroup;
+
+impl CommGroup {
+    /// Create `n` communicators arranged in a ring. Move each one onto its
+    /// own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn create(n: usize) -> Vec<Communicator> {
+        assert!(n > 0, "communicator group must have at least one rank");
+        let barrier = Arc::new(Barrier::new(n));
+        // Channel i carries messages from rank i to rank (i+1) % n.
+        let mut senders: Vec<Option<Sender<Vec<f64>>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Vec<f64>>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+        (0..n)
+            .map(|rank| Communicator {
+                rank,
+                world: n,
+                send_next: senders[rank].take().expect("sender taken once"),
+                recv_prev: receivers[(rank + n - 1) % n].take().expect("receiver taken once"),
+                barrier: Arc::clone(&barrier),
+            })
+            .collect()
+    }
+}
+
+/// One rank's endpoint in a ring-connected group.
+///
+/// All methods are collective: every rank of the group must call them in
+/// the same order or the group deadlocks (the standard SPMD contract).
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    send_next: Sender<Vec<f64>>,
+    recv_prev: Receiver<Vec<f64>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Communicator {
+    /// This rank's id, `0..world_size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn send(&self, data: Vec<f64>) {
+        self.send_next.send(data).expect("ring peer disconnected");
+    }
+
+    fn recv(&self) -> Vec<f64> {
+        self.recv_prev.recv().expect("ring peer disconnected")
+    }
+
+    /// In-place sum all-reduce via ring reduce-scatter + all-gather.
+    ///
+    /// Every rank ends with the elementwise sum across ranks. The algorithm
+    /// moves `2(n−1)/n` of the buffer per rank, the bandwidth-optimal
+    /// schedule of Patarasuk & Yuan that NCCL implements.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) {
+        if self.world == 1 {
+            return;
+        }
+        let n = self.world;
+        let chunks = ring_chunks(data.len(), n);
+        // Reduce-scatter: after step s, rank r holds the running sum of
+        // chunk (r - s) for s+1 ranks.
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
+            self.send(payload);
+            let incoming = self.recv();
+            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
+                *d += v as f32;
+            }
+        }
+        // All-gather: circulate the fully reduced chunks.
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s + 1) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
+            self.send(payload);
+            let incoming = self.recv();
+            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
+                *d = v as f32;
+            }
+        }
+    }
+
+    /// In-place mean all-reduce: [`Communicator::all_reduce_sum`] divided by
+    /// the world size — the homogeneous DDP aggregation (Eq. (2) of the
+    /// paper).
+    pub fn all_reduce_mean(&self, data: &mut [f32]) {
+        self.all_reduce_sum(data);
+        let inv = 1.0 / self.world as f32;
+        for v in data.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Weighted all-reduce (Eq. (9)): every rank contributes `weight *
+    /// data` and receives `Σᵢ wᵢ · dataᵢ`. With `wᵢ = bᵢ/B` this turns
+    /// per-node *mean* gradients over unequal local batches into the exact
+    /// global-batch mean gradient.
+    pub fn weighted_all_reduce(&self, data: &mut [f32], weight: f32) {
+        for v in data.iter_mut() {
+            *v *= weight;
+        }
+        self.all_reduce_sum(data);
+    }
+
+    /// Bucketed all-reduce: reduce the buffer bucket by bucket in *reverse*
+    /// bucket order (DDP reduces buckets as backpropagation produces them,
+    /// i.e. from the output layers backwards). Returns the bucket ranges in
+    /// the order they were reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn all_reduce_buckets(&self, data: &mut [f32], buckets: usize) -> Vec<std::ops::Range<usize>> {
+        let ranges = super::bucket_ranges(data.len(), buckets);
+        let mut order = Vec::with_capacity(ranges.len());
+        for r in ranges.into_iter().rev() {
+            self.all_reduce_sum(&mut data[r.clone()]);
+            order.push(r);
+        }
+        order
+    }
+
+    /// Broadcast `data` from rank 0 to every rank (in place).
+    pub fn broadcast(&self, data: &mut [f32]) {
+        if self.world == 1 {
+            return;
+        }
+        // Pass rank 0's buffer around the ring; the last hop (into rank 0)
+        // is skipped.
+        if self.rank == 0 {
+            self.send(data.iter().map(|&v| f64::from(v)).collect());
+        } else {
+            let incoming = self.recv();
+            for (d, v) in data.iter_mut().zip(&incoming) {
+                *d = *v as f32;
+            }
+            if self.rank + 1 < self.world {
+                self.send(incoming);
+            }
+        }
+        self.barrier();
+    }
+
+    /// Gather one `f64` from every rank; the result is indexed by rank on
+    /// every rank. Used for metric collection (per-node timings, gradient
+    /// norms).
+    pub fn all_gather_scalar(&self, value: f64) -> Vec<f64> {
+        if self.world == 1 {
+            return vec![value];
+        }
+        let mut out = vec![0.0f64; self.world];
+        out[self.rank] = value;
+        // Circulate: after n-1 hops every rank has seen every value.
+        let mut carry = vec![self.rank as f64, value];
+        for _ in 0..self.world - 1 {
+            self.send(carry);
+            carry = self.recv();
+            out[carry[0] as usize] = carry[1];
+        }
+        out
+    }
+
+    /// Gather a fixed-length `f64` vector from every rank; result is a
+    /// `world_size × len` row-major matrix identical on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks pass different lengths (detected as a length
+    /// mismatch on receive).
+    pub fn all_gather_vec(&self, values: &[f64]) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.world];
+        out[self.rank] = values.to_vec();
+        if self.world == 1 {
+            return out;
+        }
+        let mut carry = Vec::with_capacity(values.len() + 1);
+        carry.push(self.rank as f64);
+        carry.extend_from_slice(values);
+        for _ in 0..self.world - 1 {
+            self.send(carry);
+            carry = self.recv();
+            assert_eq!(carry.len(), values.len() + 1, "all_gather_vec length mismatch across ranks");
+            out[carry[0] as usize] = carry[1..].to_vec();
+        }
+        out
+    }
+}
+
+/// Split `len` elements into exactly `n` ranges whose sizes differ by at
+/// most one; ranges may be empty when `len < n`. Unlike
+/// [`super::bucket_ranges`], the range *count* is guaranteed, which the
+/// ring schedule requires (every rank must own a chunk index).
+fn ring_chunks(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group<F, T>(n: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = CommGroup::create(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    #[test]
+    fn all_reduce_sum_matches_serial() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let len = 37;
+            let results = run_group(n, move |c| {
+                let mut data: Vec<f32> = (0..len).map(|i| (i + c.rank() * 100) as f32).collect();
+                c.all_reduce_sum(&mut data);
+                data
+            });
+            let expected: Vec<f32> = (0..len)
+                .map(|i| (0..n).map(|r| (i + r * 100) as f32).sum())
+                .collect();
+            for r in &results {
+                assert_eq!(r, &expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_divides() {
+        let results = run_group(4, |c| {
+            let mut data = vec![(c.rank() * 4) as f32; 3];
+            c.all_reduce_mean(&mut data);
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![6.0; 3]); // (0+4+8+12)/4
+        }
+    }
+
+    #[test]
+    fn weighted_all_reduce_matches_eq9() {
+        // Ratios 0.5, 0.3, 0.2 times per-rank constant gradients.
+        let weights = [0.5f32, 0.3, 0.2];
+        let results = run_group(3, move |c| {
+            let mut data = vec![(c.rank() + 1) as f32; 5];
+            c.weighted_all_reduce(&mut data, weights[c.rank()]);
+            data
+        });
+        let expected = 0.5 * 1.0 + 0.3 * 2.0 + 0.2 * 3.0;
+        for r in results {
+            for v in r {
+                assert!((v - expected).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_all_reduce_equals_plain() {
+        let results = run_group(3, |c| {
+            let mut a: Vec<f32> = (0..50).map(|i| (i * (c.rank() + 1)) as f32).collect();
+            let mut b = a.clone();
+            c.all_reduce_buckets(&mut a, 7);
+            c.all_reduce_sum(&mut b);
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bucket_order_is_reverse() {
+        let results = run_group(2, |c| {
+            let mut data = vec![1.0f32; 10];
+            c.all_reduce_buckets(&mut data, 3)
+        });
+        for order in results {
+            assert!(order[0].end == 10, "last (output-side) bucket first: {order:?}");
+            assert_eq!(order.last().unwrap().start, 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let results = run_group(4, |c| {
+            let mut data = if c.rank() == 0 { vec![3.5f32, -1.0] } else { vec![0.0, 0.0] };
+            c.broadcast(&mut data);
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![3.5, -1.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_scalar_is_rank_indexed() {
+        let results = run_group(5, |c| c.all_gather_scalar((c.rank() * 10) as f64));
+        for r in results {
+            assert_eq!(r, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_vec_collects_rows() {
+        let results = run_group(3, |c| c.all_gather_vec(&[c.rank() as f64, 1.0]));
+        for r in results {
+            assert_eq!(r, vec![vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]]);
+        }
+    }
+
+    #[test]
+    fn single_rank_is_noop() {
+        let results = run_group(1, |c| {
+            let mut data = vec![1.0f32, 2.0];
+            c.all_reduce_sum(&mut data);
+            c.broadcast(&mut data);
+            (data, c.all_gather_scalar(7.0))
+        });
+        assert_eq!(results[0].0, vec![1.0, 2.0]);
+        assert_eq!(results[0].1, vec![7.0]);
+    }
+
+    #[test]
+    fn ring_chunks_exact_count_and_cover() {
+        for (len, n) in [(0usize, 3usize), (2, 5), (10, 3), (16, 4)] {
+            let chunks = ring_chunks(len, n);
+            assert_eq!(chunks.len(), n);
+            let mut cursor = 0;
+            for c in &chunks {
+                assert_eq!(c.start, cursor);
+                cursor = c.end;
+            }
+            assert_eq!(cursor, len);
+        }
+    }
+
+    #[test]
+    fn all_reduce_shorter_than_world() {
+        // Buffer smaller than the rank count must still reduce correctly.
+        let results = run_group(5, |c| {
+            let mut data = vec![c.rank() as f32 + 1.0; 2];
+            c.all_reduce_sum(&mut data);
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![15.0, 15.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_interleave() {
+        // Two back-to-back reduces must not mix payloads.
+        let results = run_group(3, |c| {
+            let mut a = vec![1.0f32; 8];
+            let mut b = vec![10.0f32; 8];
+            c.all_reduce_sum(&mut a);
+            c.all_reduce_sum(&mut b);
+            (a[0], b[0])
+        });
+        for (a, b) in results {
+            assert_eq!(a, 3.0);
+            assert_eq!(b, 30.0);
+        }
+    }
+}
+
+impl Communicator {
+    /// Ring reduce-scatter: after the call, rank `r` owns the fully
+    /// reduced chunk `r` of the buffer (chunk boundaries from the same
+    /// even partition the all-reduce uses); other chunks hold partial
+    /// sums and must be treated as scratch. Returns this rank's chunk
+    /// range.
+    pub fn reduce_scatter(&self, data: &mut [f32]) -> std::ops::Range<usize> {
+        let n = self.world;
+        let chunks = ring_chunks(data.len(), n);
+        if n == 1 {
+            return chunks[0].clone();
+        }
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
+            self.send(payload);
+            let incoming = self.recv();
+            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
+                *d += v as f32;
+            }
+        }
+        // After n−1 steps rank r holds the complete sum of chunk (r+1) % n.
+        chunks[(self.rank + 1) % n].clone()
+    }
+
+    /// Ring all-gather over the chunk layout produced by
+    /// [`Communicator::reduce_scatter`]: every rank contributes its owned
+    /// chunk and receives everyone else's, completing an all-reduce.
+    pub fn all_gather_chunks(&self, data: &mut [f32]) {
+        let n = self.world;
+        if n == 1 {
+            return;
+        }
+        let chunks = ring_chunks(data.len(), n);
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s + 1) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
+            self.send(payload);
+            let incoming = self.recv();
+            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
+                *d = v as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod scatter_gather_tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group<F, T>(n: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = CommGroup::create(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    #[test]
+    fn reduce_scatter_owns_the_right_chunk() {
+        let n = 4;
+        let len = 20;
+        let results = run_group(n, move |c| {
+            let mut data: Vec<f32> = (0..len).map(|i| (i * (c.rank() + 1)) as f32).collect();
+            let owned = c.reduce_scatter(&mut data);
+            (c.rank(), owned.clone(), data[owned].to_vec())
+        });
+        let total_weight: f32 = (1..=n).map(|r| r as f32).sum();
+        for (rank, range, chunk) in results {
+            for (offset, v) in chunk.iter().enumerate() {
+                let i = range.start + offset;
+                assert_eq!(*v, i as f32 * total_weight, "rank {rank} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_plus_all_gather_equals_all_reduce() {
+        let results = run_group(3, |c| {
+            let mut a: Vec<f32> = (0..31).map(|i| (i + c.rank() * 7) as f32).collect();
+            let mut b = a.clone();
+            c.reduce_scatter(&mut a);
+            c.all_gather_chunks(&mut a);
+            c.all_reduce_sum(&mut b);
+            (a, b)
+        });
+        for (composed, fused) in results {
+            assert_eq!(composed, fused);
+        }
+    }
+
+    #[test]
+    fn single_rank_scatter_gather_noop() {
+        let results = run_group(1, |c| {
+            let mut data = vec![5.0f32, 6.0];
+            let owned = c.reduce_scatter(&mut data);
+            c.all_gather_chunks(&mut data);
+            (owned, data)
+        });
+        assert_eq!(results[0].0, 0..2);
+        assert_eq!(results[0].1, vec![5.0, 6.0]);
+    }
+}

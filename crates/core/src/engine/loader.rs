@@ -1,0 +1,111 @@
+//! The `HeteroDataLoader` (§4.5).
+//!
+//! PyTorch's `DistributedSampler` deals every rank the same number of
+//! samples; Cannikin's loader deals rank `i` exactly `bᵢ` samples per
+//! step, following the OptPerf ratios, while still covering each epoch's
+//! shuffled dataset without overlap.
+
+use minidnn::data::EpochPlan;
+
+/// Uneven epoch-sharding data loader.
+///
+/// # Examples
+///
+/// ```
+/// use cannikin_core::engine::HeteroDataLoader;
+///
+/// let mut loader = HeteroDataLoader::new(10_000, 42);
+/// let plan = loader.next_epoch(&[96, 32]);
+/// assert_eq!(plan.steps(), 10_000 / 128);
+/// assert_eq!(plan.node_batches(0)[0].len(), 96);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeteroDataLoader {
+    dataset_len: usize,
+    seed: u64,
+    epoch: usize,
+}
+
+impl HeteroDataLoader {
+    /// Create a loader over a dataset of `dataset_len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataset_len == 0`.
+    pub fn new(dataset_len: usize, seed: u64) -> Self {
+        assert!(dataset_len > 0, "dataset must be non-empty");
+        HeteroDataLoader { dataset_len, seed, epoch: 0 }
+    }
+
+    /// Number of epochs already planned.
+    pub fn epochs_planned(&self) -> usize {
+        self.epoch
+    }
+
+    /// Dataset size.
+    pub fn dataset_len(&self) -> usize {
+        self.dataset_len
+    }
+
+    /// Produce the next epoch's shard plan for the given local batch
+    /// sizes. Each call reshuffles with a fresh (deterministic) seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_batches` is empty or sums to zero.
+    pub fn next_epoch(&mut self, local_batches: &[u64]) -> EpochPlan {
+        let plan = EpochPlan::new(self.dataset_len, local_batches, self.seed.wrapping_add(self.epoch as u64));
+        self.epoch += 1;
+        plan
+    }
+
+    /// Produce an epoch plan alternating between two splits (even/odd
+    /// steps) — the measurement pattern of the functional trainer, which
+    /// needs each node at two batch sizes under identical conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the splits are invalid (see
+    /// [`EpochPlan::new_alternating`]).
+    pub fn next_epoch_alternating(&mut self, split_even: &[u64], split_odd: &[u64]) -> EpochPlan {
+        let plan = EpochPlan::new_alternating(
+            self.dataset_len,
+            split_even,
+            split_odd,
+            self.seed.wrapping_add(self.epoch as u64),
+        );
+        self.epoch += 1;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut loader = HeteroDataLoader::new(256, 1);
+        let a = loader.next_epoch(&[8, 8]);
+        let b = loader.next_epoch(&[8, 8]);
+        assert_ne!(a.node_batches(0), b.node_batches(0));
+        assert_eq!(loader.epochs_planned(), 2);
+    }
+
+    #[test]
+    fn uneven_shares_respected() {
+        let mut loader = HeteroDataLoader::new(1000, 2);
+        let plan = loader.next_epoch(&[7, 2, 1]);
+        assert_eq!(plan.node_batches(0)[0].len(), 7);
+        assert_eq!(plan.node_batches(1)[0].len(), 2);
+        assert_eq!(plan.node_batches(2)[0].len(), 1);
+        assert_eq!(plan.steps(), 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = HeteroDataLoader::new(100, 9);
+        let mut b = HeteroDataLoader::new(100, 9);
+        assert_eq!(a.next_epoch(&[4, 4]).node_batches(1), b.next_epoch(&[4, 4]).node_batches(1));
+    }
+}

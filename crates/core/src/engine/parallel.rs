@@ -1,0 +1,528 @@
+//! Functional data-parallel training with real gradients.
+//!
+//! [`ParallelTrainer`] runs one `minidnn` model replica per OS thread,
+//! exchanges gradients with the real bucketed ring all-reduce of
+//! `cannikin-collectives`, aggregates them with the Eq. (9) batch-ratio
+//! weights, and estimates the gradient noise scale live with Eq. (10) +
+//! Theorem 4.1. CPU threads are equally fast, so hardware heterogeneity is
+//! emulated with per-node *slowdown factors* (a slow node sleeps in
+//! proportion to its measured compute time — the same observable a slower
+//! GPU would produce).
+//!
+//! Because the functional path synchronizes the whole gradient after
+//! backpropagation (no bucket overlap), its timing model is the
+//! all-compute-bottleneck special case: `T = max_i t_compute^i + T_comm`.
+//! The analyzer is therefore fed `T_o = 0, T_u = T_comm`, under which the
+//! OptPerf solver's Check 1 (equal compute times) is exact.
+
+use super::loader::HeteroDataLoader;
+use crate::gns::{estimate_gns, Aggregation, GnsEstimate, GnsTracker, GradientSample};
+use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
+use crate::perf::{Analyzer, MeasurementAggregation};
+
+use cannikin_collectives::CommGroup;
+use hetsim::trace::{BatchTrace, NodeObservation};
+use minidnn::data::ClassificationDataset;
+use minidnn::layers::{assign_grads, flatten_grads, flatten_values, zero_grads, Layer, Sequential};
+use minidnn::loss::{Loss, SoftmaxCrossEntropy};
+use minidnn::lr::LrScaler;
+use minidnn::optim::{Optimizer, Sgd};
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a functional training run.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Per-node slowdown factors (1.0 = full speed); the length sets the
+    /// node count.
+    pub slowdowns: Vec<f64>,
+    /// Reference/initial total batch size B₀.
+    pub base_batch: u64,
+    /// Upper bound of the adaptive batch range.
+    pub max_batch: u64,
+    /// Whether the total batch size adapts via goodput.
+    pub adaptive: bool,
+    /// Base learning rate at B₀.
+    pub base_lr: f64,
+    /// Learning-rate scaling rule for grown batches.
+    pub lr_scaler: LrScaler,
+    /// RNG seed (model init and shuffling).
+    pub seed: u64,
+}
+
+impl ParallelConfig {
+    /// A 3-node heterogeneous default: one full-speed node, one at 2x
+    /// slowdown, one at 4x — cluster-A-like ratios.
+    pub fn hetero_default(base_batch: u64) -> Self {
+        ParallelConfig {
+            slowdowns: vec![1.0, 2.0, 4.0],
+            base_batch,
+            max_batch: base_batch * 8,
+            adaptive: true,
+            base_lr: 0.1,
+            lr_scaler: LrScaler::AdaScale,
+            seed: 17,
+            }
+    }
+}
+
+/// Per-epoch outcome of the functional trainer.
+#[derive(Debug, Clone)]
+pub struct ParallelEpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Total batch size used.
+    pub total_batch: u64,
+    /// Per-node local batches.
+    pub local_batches: Vec<u64>,
+    /// Measured wall time of the epoch, s (including emulated slowdowns).
+    pub epoch_time: f64,
+    /// Mean training loss across steps.
+    pub mean_loss: f64,
+    /// Training accuracy measured after the epoch (rank 0 replica).
+    pub accuracy: f64,
+    /// Smoothed gradient noise scale after the epoch, if estimable.
+    pub noise_scale: Option<f64>,
+    /// Whether the learned performance model produced the split.
+    pub used_model: bool,
+}
+
+/// Functional Cannikin trainer over OS threads.
+pub struct ParallelTrainer {
+    dataset: Arc<ClassificationDataset>,
+    config: ParallelConfig,
+    weights: Vec<f32>,
+    analyzer: Analyzer,
+    tracker: GnsTracker,
+    loader: HeteroDataLoader,
+    epoch: usize,
+    last_split: Vec<u64>,
+    model_factory: Arc<dyn Fn(u64) -> Sequential + Send + Sync>,
+}
+
+impl ParallelTrainer {
+    /// Create a trainer. `model_factory(seed)` must build identical
+    /// architectures for identical seeds (replicas are initialized from
+    /// rank 0's weights regardless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no nodes or `base_batch` is smaller than
+    /// the node count.
+    pub fn new(
+        dataset: ClassificationDataset,
+        model_factory: impl Fn(u64) -> Sequential + Send + Sync + 'static,
+        config: ParallelConfig,
+    ) -> Self {
+        let n = config.slowdowns.len();
+        assert!(n > 0, "need at least one node");
+        assert!(config.base_batch >= n as u64, "base batch must cover every node");
+        let model = model_factory(config.seed);
+        let weights = flatten_values(&model.parameters()).into_data();
+        let loader = HeteroDataLoader::new(dataset.len(), config.seed);
+        ParallelTrainer {
+            dataset: Arc::new(dataset),
+            analyzer: Analyzer::new(n, MeasurementAggregation::InverseVariance),
+            tracker: GnsTracker::new(0.9),
+            loader,
+            epoch: 0,
+            last_split: Vec::new(),
+            weights,
+            config,
+            model_factory: Arc::new(model_factory),
+        }
+    }
+
+    /// Smoothed gradient noise scale, if available.
+    pub fn noise_scale(&self) -> Option<f64> {
+        self.tracker.noise_scale()
+    }
+
+    /// The analyzer's current state (inspection/tests).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Run one epoch of real data-parallel training.
+    pub fn run_epoch(&mut self) -> ParallelEpochReport {
+        let n = self.config.slowdowns.len();
+        let phi = self.tracker.noise_scale();
+
+        // ---- Plan the split (Fig. 4 control loop). ----
+        let mut used_model = false;
+        let (total, local) = if let Ok(input) = self.analyzer.solver_input() {
+            let mut solver = OptPerfSolver::new(input);
+            let total = if self.config.adaptive {
+                self.pick_total(&mut solver, phi)
+            } else {
+                self.config.base_batch
+            };
+            match solver.solve(total) {
+                Ok(plan) => {
+                    used_model = true;
+                    (total, plan.local_batches)
+                }
+                Err(_) => (self.config.base_batch, even_split(self.config.base_batch, n)),
+            }
+        } else if self.epoch == 0 || self.last_split.is_empty() {
+            (self.config.base_batch, even_split(self.config.base_batch, n))
+        } else {
+            let t: Vec<f64> = (0..n).map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0)).collect();
+            let split = bootstrap_split(&t, self.config.base_batch);
+            (self.config.base_batch, ensure_distinct_split(&self.last_split, split))
+        };
+
+        // ---- Train the epoch across threads. ----
+        // Even steps use the planned split, odd steps a ~25%-perturbed
+        // variant: every node sees two well-separated local batch sizes
+        // *within* the same epoch, so its linear compute model is fit
+        // under identical thermal conditions (cross-epoch timing drift on
+        // real threads would otherwise poison the slopes).
+        let odd = measurement_variant(&local);
+        let plan = self.loader.next_epoch_alternating(&local, &odd);
+        let steps = plan.steps().max(1);
+        let even_total: u64 = local.iter().sum();
+        let odd_total: u64 = odd.iter().sum();
+        let step_totals: Arc<Vec<u64>> =
+            Arc::new((0..steps).map(|s| if s % 2 == 0 { even_total } else { odd_total }).collect());
+        let lr = self.config.lr_scaler.scaled_lr(self.config.base_lr, self.config.base_batch, total, phi);
+        let comms = CommGroup::create(n);
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let dataset = Arc::clone(&self.dataset);
+            let factory = Arc::clone(&self.model_factory);
+            let weights = self.weights.clone();
+            let batches: Vec<Vec<usize>> = plan.node_batches(rank).to_vec();
+            let step_totals = Arc::clone(&step_totals);
+            let slowdown = self.config.slowdowns[rank];
+            let seed = self.config.seed;
+            handles.push(thread::spawn(move || {
+                run_rank(RankArgs {
+                    comm,
+                    rank,
+                    dataset,
+                    factory,
+                    weights,
+                    batches,
+                    step_totals,
+                    slowdown,
+                    lr,
+                    seed,
+                    steps,
+                })
+            }));
+        }
+        let mut rank_outputs: Vec<RankOutput> = handles
+            .into_iter()
+            .map(|h| h.join().expect("training rank panicked"))
+            .collect();
+        let epoch_time = started.elapsed().as_secs_f64();
+
+        // ---- Absorb measurements (discarding thread warm-up steps:
+        // freshly spawned ranks run their first batches with cold caches,
+        // which would poison the linear fit). ----
+        let warmup = if steps > 6 { 3 } else { 0 };
+        for step in warmup..steps {
+            let observations = rank_outputs
+                .iter()
+                .map(|r| {
+                    let m = r.step_measurements[step];
+                    NodeObservation {
+                        node: r.rank,
+                        local_batch: m.batch_size,
+                        a_time: m.a_time,
+                        p_time: m.p_time,
+                        sync_start: m.a_time + 0.5 * m.p_time,
+                        gamma_obs: 0.5,
+                        t_comm_obs: m.comm_time,
+                        t_u_obs: m.comm_time, // no overlap: T_u = T_comm, T_o = 0
+                        rel_variance: 1e-4,
+                    }
+                })
+                .collect();
+            self.analyzer.observe_batch(&BatchTrace {
+                observations,
+                batch_time: 0.0,
+                bucket_sync_end: Vec::new(),
+            });
+        }
+        for est in &rank_outputs[0].gns_estimates {
+            self.tracker.observe(*est);
+        }
+
+        // ---- Evaluate and roll state forward. ----
+        let rank0 = rank_outputs.swap_remove(0);
+        self.weights = rank0.weights;
+        let mean_loss = rank0.losses.iter().sum::<f64>() / rank0.losses.len().max(1) as f64;
+        let mut eval_model = (self.model_factory)(self.config.seed);
+        let flat = minidnn::tensor::Tensor::from_vec(self.weights.clone(), &[self.weights.len()]).expect("weights");
+        minidnn::layers::assign_values(&mut eval_model.parameters_mut(), &flat);
+        let accuracy = evaluate(&mut eval_model, &self.dataset);
+
+        let report = ParallelEpochReport {
+            epoch: self.epoch,
+            total_batch: total,
+            local_batches: local.clone(),
+            epoch_time,
+            mean_loss,
+            accuracy,
+            noise_scale: self.tracker.noise_scale(),
+            used_model,
+        };
+        self.epoch += 1;
+        self.last_split = local;
+        report
+    }
+
+    /// Goodput-style total-batch pick over a tiny candidate grid (the
+    /// functional datasets are small, so the full cache machinery of
+    /// [`crate::goodput::GoodputEngine`] is unnecessary here).
+    fn pick_total(&self, solver: &mut OptPerfSolver, phi: Option<f64>) -> u64 {
+        let Some(phi) = phi else {
+            return self.config.base_batch;
+        };
+        let n = self.config.slowdowns.len() as u64;
+        let mut best = (self.config.base_batch, f64::MIN);
+        let mut b = self.config.base_batch.max(n);
+        while b <= self.config.max_batch && (b as usize) <= self.dataset.len() {
+            if let Ok(plan) = solver.solve(b) {
+                let g = crate::gns::goodput(phi, self.config.base_batch, b, plan.opt_perf);
+                if g > best.1 {
+                    best = (b, g);
+                }
+            }
+            b *= 2;
+        }
+        best.0
+    }
+}
+
+impl std::fmt::Debug for ParallelTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ParallelTrainer(epoch {}, {} nodes)", self.epoch, self.config.slowdowns.len())
+    }
+}
+
+struct RankArgs {
+    comm: cannikin_collectives::Communicator,
+    rank: usize,
+    dataset: Arc<ClassificationDataset>,
+    factory: Arc<dyn Fn(u64) -> Sequential + Send + Sync>,
+    weights: Vec<f32>,
+    batches: Vec<Vec<usize>>,
+    step_totals: Arc<Vec<u64>>,
+    slowdown: f64,
+    lr: f64,
+    seed: u64,
+    steps: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StepMeasurement {
+    batch_size: u64,
+    a_time: f64,
+    p_time: f64,
+    comm_time: f64,
+}
+
+struct RankOutput {
+    rank: usize,
+    weights: Vec<f32>,
+    losses: Vec<f64>,
+    gns_estimates: Vec<GnsEstimate>,
+    step_measurements: Vec<StepMeasurement>,
+}
+
+/// A second split for within-epoch measurement: adjacent node pairs trade
+/// ~25% of their smaller share (at least one sample), preserving the sum
+/// and the one-sample floor while giving the linear fit real leverage.
+fn measurement_variant(split: &[u64]) -> Vec<u64> {
+    let mut out = split.to_vec();
+    let mut i = 0;
+    while i + 1 < out.len() {
+        let d = (out[i].min(out[i + 1]) / 4).max(1);
+        if out[i + 1] > d {
+            out[i] += d;
+            out[i + 1] -= d;
+        } else if out[i] > d {
+            out[i] -= d;
+            out[i + 1] += d;
+        }
+        i += 2;
+    }
+    if out.len() % 2 == 1 && out.len() >= 3 {
+        let last = out.len() - 1;
+        let d = (out[last].min(out[0]) / 4).max(1);
+        if out[last] > d {
+            out[last] -= d;
+            out[0] += d;
+        } else if out[0] > d {
+            out[0] -= d;
+            out[last] += d;
+        }
+    }
+    out
+}
+
+fn run_rank(args: RankArgs) -> RankOutput {
+    let RankArgs { comm, rank, dataset, factory, weights, batches, step_totals, slowdown, lr, seed, steps } = args;
+    let mut model = factory(seed);
+    // Start from the shared weights so every replica is identical.
+    let flat = minidnn::tensor::Tensor::from_vec(weights, &[model.parameters().iter().map(|p| p.len()).sum()])
+        .expect("weight vector");
+    minidnn::layers::assign_values(&mut model.parameters_mut(), &flat);
+    let mut opt = Sgd::new(lr).momentum(0.9);
+
+    let mut losses = Vec::with_capacity(steps);
+    let mut gns_estimates = Vec::with_capacity(steps);
+    let mut measurements = Vec::with_capacity(steps);
+    for (step, batch_indices) in batches.iter().take(steps).enumerate() {
+        let ratio = batch_indices.len() as f64 / step_totals[step] as f64;
+        // Forward (+ data load) — the `a_i` phase.
+        let t0 = Instant::now();
+        let (x, y) = dataset.batch(batch_indices);
+        let logits = model.forward(&x, true);
+        let (loss, grad) = SoftmaxCrossEntropy.loss(&logits, &y);
+        let a_elapsed = t0.elapsed().as_secs_f64();
+
+        // Backward — the `P_i` phase.
+        let t1 = Instant::now();
+        zero_grads(&mut model.parameters_mut());
+        model.backward(&grad);
+        let p_elapsed = t1.elapsed().as_secs_f64();
+
+        // Emulate a slower GPU: stretch this node's compute wall time.
+        if slowdown > 1.0 {
+            let extra = (a_elapsed + p_elapsed) * (slowdown - 1.0);
+            thread::sleep(Duration::from_secs_f64(extra));
+        }
+
+        // Gradient exchange: Eq. (9) weighted aggregation + GNS inputs.
+        let mut g = flatten_grads(&model.parameters()).into_data();
+        let local_sq: f64 = g.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let t2 = Instant::now();
+        comm.weighted_all_reduce(&mut g, ratio as f32);
+        let comm_time = t2.elapsed().as_secs_f64();
+        let global_sq: f64 = g.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+
+        // Gather (bᵢ, |gᵢ|²) from every rank for Eq. (10).
+        let rows = comm.all_gather_vec(&[batch_indices.len() as f64, local_sq]);
+        if rank == 0 {
+            let samples: Vec<GradientSample> = rows
+                .iter()
+                .map(|r| GradientSample { local_batch: r[0] as u64, local_sq_norm: r[1] })
+                .collect();
+            if let Ok(est) = estimate_gns(&samples, global_sq, Aggregation::MinimumVariance) {
+                gns_estimates.push(est);
+            }
+        }
+
+        // Apply the identical global gradient on every replica.
+        let flat_g = minidnn::tensor::Tensor::from_vec(g, &[flat.len()]).expect("gradient vector");
+        assign_grads(&mut model.parameters_mut(), &flat_g);
+        opt.step(&mut model.parameters_mut());
+
+        losses.push(f64::from(loss));
+        measurements.push(StepMeasurement {
+            batch_size: batch_indices.len() as u64,
+            a_time: a_elapsed * slowdown,
+            p_time: p_elapsed * slowdown,
+            comm_time,
+        });
+    }
+    RankOutput {
+        rank,
+        weights: flatten_values(&model.parameters()).into_data(),
+        losses,
+        gns_estimates,
+        step_measurements: measurements,
+    }
+}
+
+fn evaluate(model: &mut Sequential, dataset: &ClassificationDataset) -> f64 {
+    let sample: Vec<usize> = (0..dataset.len().min(512)).collect();
+    let (x, y) = dataset.batch(&sample);
+    minidnn::models::accuracy(model, &x, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidnn::data::gaussian_blobs;
+    use minidnn::models::mlp_classifier;
+
+    fn config(adaptive: bool) -> ParallelConfig {
+        ParallelConfig {
+            slowdowns: vec![1.0, 2.0],
+            base_batch: 32,
+            max_batch: 128,
+            adaptive,
+            base_lr: 0.05,
+            lr_scaler: LrScaler::AdaScale,
+            seed: 5,
+        }
+    }
+
+    fn trainer(adaptive: bool) -> ParallelTrainer {
+        let ds = gaussian_blobs(640, 4, 10, 3);
+        ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), config(adaptive))
+    }
+
+    #[test]
+    fn replicas_learn_the_task() {
+        let mut t = trainer(false);
+        let mut last = None;
+        for _ in 0..4 {
+            last = Some(t.run_epoch());
+        }
+        let report = last.unwrap();
+        assert!(report.accuracy > 0.9, "accuracy {}", report.accuracy);
+        assert!(report.mean_loss < 0.5, "loss {}", report.mean_loss);
+    }
+
+    #[test]
+    fn gns_becomes_available() {
+        let mut t = trainer(false);
+        let r = t.run_epoch();
+        assert!(r.noise_scale.is_some(), "GNS should be estimable after one epoch");
+        assert!(r.noise_scale.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn split_adapts_to_slowdown() {
+        // Thread timings on loaded CI machines are noisy, so judge the
+        // *cumulative* allocation over several post-bootstrap epochs
+        // rather than a single epoch's split.
+        let mut t = trainer(false);
+        let mut fast_total = 0u64;
+        let mut slow_total = 0u64;
+        let mut model_epochs = 0;
+        for epoch in 0..6 {
+            let r = t.run_epoch();
+            if epoch >= 2 {
+                fast_total += r.local_batches[0];
+                slow_total += r.local_batches[1];
+                model_epochs += usize::from(r.used_model);
+            }
+        }
+        assert!(
+            fast_total > slow_total,
+            "the 1x node should receive more work overall: {fast_total} vs {slow_total}"
+        );
+        assert!(model_epochs >= 1, "the learned model should engage at least once");
+    }
+
+    #[test]
+    fn losses_decrease_over_epochs() {
+        let mut t = trainer(false);
+        let first = t.run_epoch();
+        let mut last = t.run_epoch();
+        for _ in 0..2 {
+            last = t.run_epoch();
+        }
+        assert!(last.mean_loss < first.mean_loss, "{} -> {}", first.mean_loss, last.mean_loss);
+    }
+}

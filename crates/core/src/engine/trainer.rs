@@ -1,0 +1,497 @@
+//! The simulator-driven Cannikin training loop (Fig. 4).
+
+use super::{EpochRecord, NoiseModel};
+use crate::error::CannikinError;
+use crate::gns::statistical_efficiency;
+use crate::goodput::GoodputEngine;
+use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
+use crate::perf::{Analyzer, MeasurementAggregation};
+
+use hetsim::Simulator;
+use std::time::Instant;
+
+/// Configuration of a Cannikin training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Samples per (synthetic) dataset epoch.
+    pub dataset_size: usize,
+    /// Initial/reference total batch size B₀ (Table 5).
+    pub base_batch: u64,
+    /// Upper end of the admissible total-batch range.
+    pub max_batch: u64,
+    /// Measurement aggregation for the cluster constants (IVW vs naive —
+    /// the §5.3 ablation).
+    pub aggregation: MeasurementAggregation,
+    /// Whether the total batch size adapts (false pins it to
+    /// `base_batch`, isolating the local-split optimization for the
+    /// fixed-batch experiments of §5.2.2).
+    pub adaptive_batch: bool,
+}
+
+impl TrainerConfig {
+    /// A sensible default configuration for a workload.
+    pub fn new(dataset_size: usize, base_batch: u64, max_batch: u64) -> Self {
+        TrainerConfig {
+            dataset_size,
+            base_batch,
+            max_batch,
+            aggregation: MeasurementAggregation::InverseVariance,
+            adaptive_batch: true,
+        }
+    }
+}
+
+/// The Cannikin system driving a simulated heterogeneous cluster.
+///
+/// Epoch 0 splits evenly; epoch 1 uses the Eq. (8) bootstrap (which also
+/// guarantees two distinct local batch sizes per node, unlocking the
+/// linear model); from epoch 2 the full pipeline runs: learned models →
+/// OptPerf solver → goodput-maximizing batch size → `HeteroDataLoader`
+/// split.
+pub struct CannikinTrainer {
+    sim: Simulator,
+    analyzer: Analyzer,
+    goodput: GoodputEngine,
+    noise: Box<dyn NoiseModel>,
+    config: TrainerConfig,
+    epoch: usize,
+    effective_epochs: f64,
+    cumulative_time: f64,
+    last_local: Vec<u64>,
+}
+
+impl CannikinTrainer {
+    /// Create a trainer around a simulator and a noise-evolution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch range cannot accommodate one sample per node.
+    pub fn new(sim: Simulator, noise: Box<dyn NoiseModel>, config: TrainerConfig) -> Self {
+        let n = sim.cluster().len();
+        assert!(config.base_batch >= n as u64, "base batch must cover every node");
+        let caps: Vec<Option<u64>> = (0..n).map(|i| Some(sim.max_local_batch(i))).collect();
+        let analyzer = Analyzer::new(n, config.aggregation).with_max_batches(caps);
+        let goodput = GoodputEngine::new(config.base_batch, config.base_batch.max(n as u64), config.max_batch);
+        CannikinTrainer {
+            sim,
+            analyzer,
+            goodput,
+            noise,
+            config,
+            epoch: 0,
+            effective_epochs: 0.0,
+            cumulative_time: 0.0,
+            last_local: Vec::new(),
+        }
+    }
+
+    /// Warm-start from a checkpointed model (a `SolverInput` saved from a
+    /// previous run of the same job on the same cluster): the bootstrap
+    /// epochs are skipped and the first epoch already trains on the
+    /// OptPerf split.
+    pub fn warm_start(&mut self, checkpoint: &crate::optperf::SolverInput) {
+        self.analyzer.preload_models(checkpoint);
+    }
+
+    /// The underlying simulator (e.g. to inject contention mid-run).
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// React to an elastic-scheduler event that changed the cluster
+    /// membership (the simulator's nodes were added/removed via
+    /// [`Simulator::add_node`] / [`Simulator::remove_node`]): the analyzer
+    /// is rebuilt for the new node set, the candidate cache is dropped, and
+    /// the next epochs re-profile via the bootstrap path while training
+    /// continues.
+    pub fn on_cluster_change(&mut self) {
+        let n = self.sim.cluster().len();
+        let caps: Vec<Option<u64>> = (0..n).map(|i| Some(self.sim.max_local_batch(i))).collect();
+        self.analyzer = Analyzer::new(n, self.config.aggregation).with_max_batches(caps);
+        self.goodput = GoodputEngine::new(
+            self.config.base_batch,
+            self.config.base_batch.max(n as u64),
+            self.config.max_batch,
+        );
+        // Re-profile at (roughly) the previous total batch rather than
+        // dropping back to B₀: the statistical operating point is a
+        // property of the *job*, not of the cluster, and reverting to tiny
+        // batches would waste hundreds of large-dataset steps per
+        // bootstrap epoch.
+        let prev_total: u64 = self.last_local.iter().sum();
+        let resume = prev_total.max(self.config.base_batch).max(n as u64);
+        self.last_local = even_split(resume, n);
+    }
+
+    /// The analyzer's current state (inspection/tests).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Cumulative statistically-effective epochs so far.
+    pub fn effective_epochs(&self) -> f64 {
+        self.effective_epochs
+    }
+
+    /// Run one epoch and return its record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver infeasibility (misconfigured batch ranges).
+    pub fn run_epoch(&mut self) -> Result<EpochRecord, CannikinError> {
+        let n = self.sim.cluster().len();
+        let phi = self.noise.noise_scale(self.effective_epochs);
+
+        let started = Instant::now();
+        let mut used_model = false;
+        let mut pattern = None;
+        let mut accumulation = 1u64;
+        let (total, local) = if let Ok(input) = self.analyzer.solver_input() {
+            // Model-based path.
+            let mut solver = OptPerfSolver::new(input);
+            if self.config.adaptive_batch {
+                let sel = self.goodput.select(&mut solver, phi)?;
+                used_model = true;
+                pattern = Some(sel.plan.pattern.clone());
+                accumulation = sel.accumulation;
+                (sel.total, sel.plan.local_batches)
+            } else {
+                let plan = solver.solve(self.config.base_batch)?;
+                used_model = true;
+                pattern = Some(plan.pattern.clone());
+                (self.config.base_batch, plan.local_batches)
+            }
+        } else if self.epoch == 0 || self.last_local.is_empty() {
+            // Epoch 0: even split at B₀.
+            (self.config.base_batch, even_split(self.config.base_batch, n))
+        } else {
+            // No usable model (epoch 1, or the learned model went stale
+            // after a resource change): Eq. (8) bootstrap from observed
+            // per-sample times. At epoch 1 the total batch follows the
+            // underlying AdaptDL engine's profiling heuristic (one upward
+            // perturbation, 1.5×B₀); later stale-model epochs keep the
+            // previous total so throughput is not sacrificed to
+            // re-profiling. When the bootstrap degenerates to the previous
+            // split (fixed costs dominating tiny batches), force an
+            // exploration split — the bootstrap's stated purpose, §4.2, is
+            // exactly to produce distinct local batch sizes.
+            let total = if self.epoch == 1 && self.config.adaptive_batch {
+                ((self.config.base_batch as f64 * 1.5).round() as u64).min(self.config.max_batch)
+            } else if self.epoch >= 2 {
+                self.last_local.iter().sum::<u64>()
+            } else {
+                self.config.base_batch
+            };
+            let t_samples: Vec<f64> = (0..n)
+                .map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0))
+                .collect();
+            let split = bootstrap_split(&t_samples, total);
+            (total, ensure_distinct_split(&self.last_local, split))
+        };
+        let overhead_seconds = started.elapsed().as_secs_f64();
+
+        let steps = (self.config.dataset_size / total as usize).max(1);
+        let (epoch_time, mean_batch_time) = if accumulation > 1 {
+            // Each optimizer step: (accum − 1) no-sync micro-batches, then
+            // one synchronized batch.
+            let mut epoch_time = 0.0;
+            for _ in 0..steps {
+                for _ in 0..accumulation - 1 {
+                    let micro = self.sim.simulate_microbatch(&local);
+                    epoch_time += micro.batch_time;
+                    self.analyzer.observe_batch(&micro);
+                }
+                let sync = self.sim.simulate_batch(&local);
+                epoch_time += sync.batch_time;
+                self.analyzer.observe_batch(&sync);
+            }
+            (epoch_time, epoch_time / steps as f64)
+        } else {
+            let trace = self.sim.simulate_epoch(&local, steps);
+            for batch in &trace.batches {
+                self.analyzer.observe_batch(batch);
+            }
+            (trace.epoch_time, trace.mean_batch_time())
+        };
+
+        let efficiency = statistical_efficiency(phi, self.config.base_batch, total);
+        let effective = steps as f64 * total as f64 * efficiency / self.config.dataset_size as f64;
+        self.effective_epochs += effective;
+        self.cumulative_time += epoch_time + overhead_seconds;
+        let record = EpochRecord {
+            epoch: self.epoch,
+            total_batch: total,
+            local_batches: local.clone(),
+            steps,
+            accumulation,
+            epoch_time,
+            mean_batch_time,
+            noise_scale: phi,
+            efficiency,
+            effective_epochs: self.effective_epochs,
+            cumulative_time: self.cumulative_time,
+            overhead_seconds,
+            pattern,
+            used_model,
+        };
+        self.epoch += 1;
+        self.last_local = local;
+        Ok(record)
+    }
+
+    /// Run `n` epochs.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first solver error.
+    pub fn run_epochs(&mut self, n: usize) -> Result<Vec<EpochRecord>, CannikinError> {
+        (0..n).map(|_| self.run_epoch()).collect()
+    }
+
+    /// Run until `target` effective epochs of statistical progress have
+    /// accumulated (the convergence experiments) or `max_epochs` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first solver error.
+    pub fn train_until(&mut self, target: f64, max_epochs: usize) -> Result<Vec<EpochRecord>, CannikinError> {
+        let mut out = Vec::new();
+        while self.effective_epochs < target && out.len() < max_epochs {
+            out.push(self.run_epoch()?);
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for CannikinTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CannikinTrainer(epoch {}, eff. epochs {:.2}, cluster {})",
+            self.epoch,
+            self.effective_epochs,
+            self.sim.cluster().name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LinearNoiseGrowth;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::{ClusterSpec, NodeSpec};
+    use hetsim::job::JobSpec;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        )
+    }
+
+    fn trainer(adaptive: bool) -> CannikinTrainer {
+        let sim = Simulator::new(cluster(), JobSpec::resnet18_cifar10(), 11);
+        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+        let mut config = TrainerConfig::new(50_000, 64, 4096);
+        config.adaptive_batch = adaptive;
+        CannikinTrainer::new(sim, noise, config)
+    }
+
+    #[test]
+    fn first_two_epochs_bootstrap_then_model_kicks_in() {
+        let mut t = trainer(true);
+        let e0 = t.run_epoch().unwrap();
+        assert!(!e0.used_model);
+        assert_eq!(e0.local_batches, vec![22, 21, 21]); // even split of 64
+        let e1 = t.run_epoch().unwrap();
+        assert!(!e1.used_model);
+        // Eq. (8): the A100 must get the largest share.
+        assert!(e1.local_batches[0] > e1.local_batches[2]);
+        let e2 = t.run_epoch().unwrap();
+        assert!(e2.used_model, "model should be ready after two distinct splits");
+        assert!(e2.pattern.is_some());
+    }
+
+    #[test]
+    fn adaptive_batch_grows_with_noise() {
+        let mut t = trainer(true);
+        let records = t.run_epochs(12).unwrap();
+        let first_model = records.iter().find(|r| r.used_model).unwrap();
+        let last = records.last().unwrap();
+        assert!(
+            last.total_batch >= first_model.total_batch,
+            "batch should not shrink as noise grows: {} -> {}",
+            first_model.total_batch,
+            last.total_batch
+        );
+        // Statistical efficiency must be accounted (η ≤ 1 for B ≥ B₀).
+        for r in &records {
+            assert!(r.efficiency <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_batch_mode_pins_total() {
+        let mut t = trainer(false);
+        let records = t.run_epochs(6).unwrap();
+        assert!(records.iter().all(|r| r.total_batch == 64));
+        // But the split still adapts to heterogeneity once learned.
+        let last = records.last().unwrap();
+        assert!(last.local_batches[0] > last.local_batches[2]);
+    }
+
+    #[test]
+    fn model_based_split_beats_even_split_time() {
+        // Use the compute-heavy ImageNet job: for the comm-dominated CIFAR
+        // job at B=64, rebalancing cannot move the needle much.
+        let sim = Simulator::new(cluster(), JobSpec::resnet50_imagenet(), 12);
+        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+        let mut config = TrainerConfig::new(20_000, 128, 1024);
+        config.adaptive_batch = false;
+        let mut t = CannikinTrainer::new(sim, noise, config);
+        let records = t.run_epochs(8).unwrap();
+        let even_epoch = &records[0]; // even split
+        let tuned = records.last().unwrap();
+        assert!(
+            tuned.mean_batch_time < even_epoch.mean_batch_time * 0.97,
+            "tuned {} vs even {}",
+            tuned.mean_batch_time,
+            even_epoch.mean_batch_time
+        );
+    }
+
+    #[test]
+    fn effective_epochs_accumulate_monotonically() {
+        let mut t = trainer(true);
+        let records = t.run_epochs(5).unwrap();
+        for pair in records.windows(2) {
+            assert!(pair[1].effective_epochs > pair[0].effective_epochs);
+            assert!(pair[1].cumulative_time > pair[0].cumulative_time);
+        }
+    }
+
+    #[test]
+    fn train_until_reaches_target() {
+        let mut t = trainer(true);
+        let records = t.train_until(3.0, 100).unwrap();
+        assert!(t.effective_epochs() >= 3.0);
+        assert!(records.len() >= 3);
+    }
+
+    #[test]
+    fn overhead_is_small() {
+        let mut t = trainer(true);
+        let records = t.run_epochs(6).unwrap();
+        for r in records.iter().filter(|r| r.used_model) {
+            assert!(r.overhead_fraction() < 0.05, "epoch {} overhead {}", r.epoch, r.overhead_fraction());
+        }
+    }
+}
+
+#[cfg(test)]
+mod elastic_tests {
+    use super::*;
+    use crate::engine::LinearNoiseGrowth;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::{ClusterSpec, NodeSpec};
+    use hetsim::job::JobSpec;
+
+    #[test]
+    fn adding_nodes_mid_run_speeds_up_epochs() {
+        let cluster = ClusterSpec::new(
+            "grow",
+            vec![NodeSpec::new("v100-0", Gpu::V100), NodeSpec::new("rtx-0", Gpu::Rtx6000)],
+        );
+        let sim = Simulator::new(cluster, JobSpec::resnet50_imagenet(), 13);
+        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+        let mut config = TrainerConfig::new(12_800, 128, 128);
+        config.adaptive_batch = false;
+        let mut trainer = CannikinTrainer::new(sim, noise, config);
+        let before = trainer.run_epochs(5).expect("run");
+        let t_before = before.last().unwrap().mean_batch_time;
+
+        // The scheduler grants two A100s.
+        trainer.simulator_mut().add_node(NodeSpec::new("a100-0", Gpu::A100).with_cpu_factor(1.5));
+        trainer.simulator_mut().add_node(NodeSpec::new("a100-1", Gpu::A100).with_cpu_factor(1.5));
+        trainer.on_cluster_change();
+        let after = trainer.run_epochs(5).expect("run");
+        for r in &after {
+            assert_eq!(r.local_batches.len(), 4, "epoch {} must cover 4 nodes", r.epoch);
+            assert_eq!(r.local_batches.iter().sum::<u64>(), 128);
+        }
+        let t_after = after.last().unwrap().mean_batch_time;
+        assert!(
+            t_after < t_before * 0.75,
+            "two extra A100s should cut the batch time: {t_before} -> {t_after}"
+        );
+        // The new fast nodes must end up with the largest shares.
+        let last = after.last().unwrap();
+        assert!(last.local_batches[2] > last.local_batches[1], "{:?}", last.local_batches);
+    }
+
+    #[test]
+    fn removing_a_node_keeps_training_consistent() {
+        let cluster = ClusterSpec::new(
+            "shrink",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        );
+        let sim = Simulator::new(cluster, JobSpec::resnet18_cifar10(), 14);
+        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+        let mut trainer = CannikinTrainer::new(sim, noise, TrainerConfig::new(50_000, 64, 1024));
+        trainer.run_epochs(4).expect("run");
+        trainer.simulator_mut().remove_node(2);
+        trainer.on_cluster_change();
+        let after = trainer.run_epochs(4).expect("run");
+        for r in &after {
+            assert_eq!(r.local_batches.len(), 2);
+            assert_eq!(r.local_batches.iter().sum::<u64>(), r.total_batch);
+        }
+        assert!(after.last().unwrap().used_model, "model should re-engage after shrink");
+    }
+}
+
+#[cfg(test)]
+mod warm_start_tests {
+    use super::*;
+    use crate::engine::LinearNoiseGrowth;
+    use crate::optperf::SolverInput;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::{ClusterSpec, NodeSpec};
+    use hetsim::job::JobSpec;
+
+    #[test]
+    fn checkpoint_skips_bootstrap_epochs() {
+        let cluster = ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        );
+        let job = JobSpec::resnet50_imagenet();
+        let checkpoint = SolverInput::from_ground_truth(&cluster, &job);
+        let sim = Simulator::new(cluster, job, 19);
+        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+        let mut config = TrainerConfig::new(12_800, 128, 128);
+        config.adaptive_batch = false;
+        let mut trainer = CannikinTrainer::new(sim, noise, config);
+        trainer.warm_start(&checkpoint);
+        let records = trainer.run_epochs(3).expect("run");
+        // Epoch 0 already uses the model — no even split, no Eq. (8) epoch.
+        assert!(records[0].used_model, "warm start should skip the bootstrap");
+        assert!(records[0].local_batches[0] > records[0].local_batches[2]);
+        // And the very first epoch is already near the best epoch.
+        let best = records.iter().map(|r| r.mean_batch_time).fold(f64::MAX, f64::min);
+        assert!(records[0].mean_batch_time < best * 1.05);
+    }
+}

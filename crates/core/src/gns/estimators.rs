@@ -1,0 +1,182 @@
+//! The per-node unbiased estimators of Eq. (10).
+
+use crate::error::CannikinError;
+
+/// What one node contributes to the GNS computation for one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientSample {
+    /// The node's local batch size `bᵢ`.
+    pub local_batch: u64,
+    /// Squared L2 norm of the node's *mean* local gradient `|gᵢ|²`.
+    pub local_sq_norm: f64,
+}
+
+/// One node's unbiased local estimates (Eq. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalEstimates {
+    /// `𝒢ᵢ` — unbiased estimate of `|G|²`.
+    pub g: f64,
+    /// `𝒮ᵢ` — unbiased estimate of `tr(Σ)`.
+    pub s: f64,
+}
+
+/// Cluster-level GNS numerator/denominator for one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnsEstimate {
+    /// Aggregated estimate of `|G|²`.
+    pub grad_sq: f64,
+    /// Aggregated estimate of `tr(Σ)`.
+    pub trace: f64,
+}
+
+impl GnsEstimate {
+    /// The raw (unsmoothed) noise scale `tr(Σ)/|G|²`, or `None` when the
+    /// gradient-norm estimate is non-positive.
+    pub fn noise_scale(&self) -> Option<f64> {
+        (self.grad_sq > 0.0 && self.trace > 0.0).then(|| self.trace / self.grad_sq)
+    }
+}
+
+/// Compute every node's Eq. (10) estimates.
+///
+/// # Errors
+///
+/// - fewer than two samples (the estimators need `B > bᵢ`);
+/// - any `bᵢ = 0` or `bᵢ ≥ B`;
+/// - non-finite norms.
+pub fn local_estimates(
+    samples: &[GradientSample],
+    global_sq_norm: f64,
+) -> Result<Vec<LocalEstimates>, CannikinError> {
+    if samples.len() < 2 {
+        return Err(CannikinError::InvalidEstimate(
+            "gradient noise estimation needs at least two nodes".into(),
+        ));
+    }
+    if !global_sq_norm.is_finite() || global_sq_norm < 0.0 {
+        return Err(CannikinError::InvalidEstimate(format!(
+            "global gradient norm must be finite and non-negative, got {global_sq_norm}"
+        )));
+    }
+    let total: u64 = samples.iter().map(|s| s.local_batch).sum();
+    let b_total = total as f64;
+    samples
+        .iter()
+        .map(|sample| {
+            let b = sample.local_batch as f64;
+            if sample.local_batch == 0 || sample.local_batch >= total {
+                return Err(CannikinError::InvalidEstimate(format!(
+                    "local batch {b} invalid for global batch {total}"
+                )));
+            }
+            if !sample.local_sq_norm.is_finite() || sample.local_sq_norm < 0.0 {
+                return Err(CannikinError::InvalidEstimate(format!(
+                    "local gradient norm must be finite and non-negative, got {}",
+                    sample.local_sq_norm
+                )));
+            }
+            let g = (b_total * global_sq_norm - b * sample.local_sq_norm) / (b_total - b);
+            let s = b * b_total / (b_total - b) * (sample.local_sq_norm - global_sq_norm);
+            Ok(LocalEstimates { g, s })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // B = 12, b0 = 4, b1 = 8.
+        let samples = [
+            GradientSample { local_batch: 4, local_sq_norm: 3.0 },
+            GradientSample { local_batch: 8, local_sq_norm: 2.0 },
+        ];
+        let est = local_estimates(&samples, 1.5).unwrap();
+        // 𝒢₀ = (12·1.5 − 4·3)/8 = 0.75 ; 𝒮₀ = (4·12/8)(3 − 1.5) = 9
+        assert!((est[0].g - 0.75).abs() < 1e-12);
+        assert!((est[0].s - 9.0).abs() < 1e-12);
+        // 𝒢₁ = (18 − 16)/4 = 0.5 ; 𝒮₁ = (8·12/4)(0.5) = 12
+        assert!((est[1].g - 0.5).abs() < 1e-12);
+        assert!((est[1].s - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiasedness_monte_carlo() {
+        // Synthetic gradient model: per-sample gradient = G + ε with
+        // ε ~ N(0, σ²I_d). Then E|g_b|² = |G|² + d·σ²/b exactly.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = 20usize;
+        let g_true: Vec<f64> = (0..d).map(|i| 0.1 * (i as f64 - 10.0)).collect();
+        let g_sq: f64 = g_true.iter().map(|v| v * v).sum();
+        let sigma2 = 0.5f64;
+        let trace = d as f64 * sigma2;
+        let batches = [6u64, 18];
+        let total: u64 = batches.iter().sum();
+
+        let trials = 4000;
+        let mut mean_g = [0.0f64; 2];
+        let mut mean_s = [0.0f64; 2];
+        for _ in 0..trials {
+            // Draw each node's mean gradient: G + N(0, σ²/bᵢ) per coord.
+            let mut locals = Vec::new();
+            let mut global = vec![0.0f64; d];
+            for &b in &batches {
+                let gi: Vec<f64> = g_true
+                    .iter()
+                    .map(|&gv| gv + normal(&mut rng) * (sigma2 / b as f64).sqrt())
+                    .collect();
+                for (acc, v) in global.iter_mut().zip(&gi) {
+                    *acc += b as f64 / total as f64 * v;
+                }
+                locals.push(gi);
+            }
+            let g_norm: f64 = global.iter().map(|v| v * v).sum();
+            let samples: Vec<GradientSample> = batches
+                .iter()
+                .zip(&locals)
+                .map(|(&b, gi)| GradientSample {
+                    local_batch: b,
+                    local_sq_norm: gi.iter().map(|v| v * v).sum(),
+                })
+                .collect();
+            let est = local_estimates(&samples, g_norm).unwrap();
+            for i in 0..2 {
+                mean_g[i] += est[i].g / trials as f64;
+                mean_s[i] += est[i].s / trials as f64;
+            }
+        }
+        for i in 0..2 {
+            assert!((mean_g[i] / g_sq - 1.0).abs() < 0.05, "E[𝒢_{i}] = {} vs {g_sq}", mean_g[i]);
+            assert!((mean_s[i] / trace - 1.0).abs() < 0.05, "E[𝒮_{i}] = {} vs {trace}", mean_s[i]);
+        }
+    }
+
+    fn normal(rng: &mut rand::rngs::StdRng) -> f64 {
+        use rand::RngExt;
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let ok = GradientSample { local_batch: 4, local_sq_norm: 1.0 };
+        assert!(local_estimates(&[ok], 1.0).is_err());
+        let zero = GradientSample { local_batch: 0, local_sq_norm: 1.0 };
+        assert!(local_estimates(&[ok, zero], 1.0).is_err());
+        assert!(local_estimates(&[ok, ok], f64::NAN).is_err());
+        let neg = GradientSample { local_batch: 4, local_sq_norm: -1.0 };
+        assert!(local_estimates(&[ok, neg], 1.0).is_err());
+    }
+
+    #[test]
+    fn noise_scale_guard() {
+        assert_eq!(GnsEstimate { grad_sq: 2.0, trace: 8.0 }.noise_scale(), Some(4.0));
+        assert_eq!(GnsEstimate { grad_sq: -1.0, trace: 8.0 }.noise_scale(), None);
+        assert_eq!(GnsEstimate { grad_sq: 1.0, trace: 0.0 }.noise_scale(), None);
+    }
+}

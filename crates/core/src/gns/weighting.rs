@@ -1,0 +1,158 @@
+//! Minimum-variance estimator weights (Theorem 4.1).
+
+use crate::error::CannikinError;
+use crate::linalg::Matrix;
+
+/// Which estimator family the weights are for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightKind {
+    /// Weights for the `𝒢ᵢ` (gradient-norm) estimators via `A_𝒢`.
+    GradNorm,
+    /// Weights for the `𝒮ᵢ` (variance-trace) estimators via `A_𝒮`.
+    Variance,
+}
+
+/// Compute the Theorem 4.1 weights `w = 𝟙ᵀA⁻¹ / 𝟙ᵀA⁻¹𝟙` for local batch
+/// sizes `b` and global batch `total`.
+///
+/// The common factor `4|G|²tr(Σ)` of the true covariance matrices cancels
+/// in the weight formula, so `A` uses only the batch-size-dependent
+/// entries printed in the theorem:
+///
+/// ```text
+/// A_𝒢(i,i) = (B + 2bᵢ)/(B² − B·bᵢ)
+/// A_𝒢(i,j) = (B² − bᵢ² − bⱼ²)/(B(B − bᵢ)(B − bⱼ))
+/// A_𝒮(i,i) = B·bᵢ/(B − bᵢ)
+/// A_𝒮(i,j) = bᵢbⱼ(B − bᵢ − bⱼ)/((B − bᵢ)(B − bⱼ))
+/// ```
+///
+/// # Errors
+///
+/// - fewer than two nodes, any `bᵢ <= 0` or `bᵢ >= B`;
+/// - a singular covariance system.
+pub fn optimal_weights(b: &[f64], total: f64, kind: WeightKind) -> Result<Vec<f64>, CannikinError> {
+    let n = b.len();
+    if n < 2 {
+        return Err(CannikinError::InvalidEstimate("weights need at least two nodes".into()));
+    }
+    for &bi in b {
+        if bi <= 0.0 || bi >= total {
+            return Err(CannikinError::InvalidEstimate(format!(
+                "local batch {bi} invalid for global batch {total}"
+            )));
+        }
+    }
+    let a = match kind {
+        WeightKind::GradNorm => Matrix::from_fn(n, |i, j| {
+            if i == j {
+                (total + 2.0 * b[i]) / (total * total - total * b[i])
+            } else {
+                (total * total - b[i] * b[i] - b[j] * b[j]) / (total * (total - b[i]) * (total - b[j]))
+            }
+        }),
+        WeightKind::Variance => Matrix::from_fn(n, |i, j| {
+            if i == j {
+                total * b[i] / (total - b[i])
+            } else {
+                b[i] * b[j] * (total - b[i] - b[j]) / ((total - b[i]) * (total - b[j]))
+            }
+        }),
+    };
+    let x = a.solve(&vec![1.0; n])?;
+    let sum: f64 = x.iter().sum();
+    if !sum.is_finite() || sum.abs() < 1e-300 {
+        return Err(CannikinError::SingularSystem("theorem 4.1 weights"));
+    }
+    Ok(x.iter().map(|v| v / sum).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for kind in [WeightKind::GradNorm, WeightKind::Variance] {
+            let w = optimal_weights(&[4.0, 9.0, 27.0], 40.0, kind).unwrap();
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{kind:?}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn equal_batches_give_equal_weights() {
+        for kind in [WeightKind::GradNorm, WeightKind::Variance] {
+            let w = optimal_weights(&[8.0, 8.0, 8.0, 8.0], 32.0, kind).unwrap();
+            for &wi in &w {
+                assert!((wi - 0.25).abs() < 1e-12, "{kind:?}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn variance_weights_favor_small_batches() {
+        // Var(𝒮ᵢ) grows with bᵢ, so the minimum-variance combination puts
+        // MORE weight on the node with the SMALLER local batch.
+        let w = optimal_weights(&[4.0, 28.0], 32.0, WeightKind::Variance).unwrap();
+        assert!(w[0] > w[1], "{w:?}");
+    }
+
+    #[test]
+    fn gradnorm_weights_favor_large_batches() {
+        // Var(𝒢ᵢ) = (B + 2bᵢ)/(B² − B·bᵢ) grows with bᵢ as well (the
+        // subtraction amplifies noise), so 𝒢 weighting also prefers the
+        // smaller-batch node's estimate.
+        let w = optimal_weights(&[4.0, 28.0], 32.0, WeightKind::GradNorm).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1], "{w:?}");
+    }
+
+    #[test]
+    fn minimum_variance_property_quadratic_form() {
+        // w minimizes wᵀAw subject to Σw = 1: compare against a few random
+        // perturbations that keep the constraint.
+        let b = [3.0, 10.0, 19.0];
+        let total = 32.0;
+        for kind in [WeightKind::GradNorm, WeightKind::Variance] {
+            let w = optimal_weights(&b, total, kind).unwrap();
+            let a = match kind {
+                WeightKind::GradNorm => Matrix::from_fn(3, |i, j| {
+                    if i == j {
+                        (total + 2.0 * b[i]) / (total * total - total * b[i])
+                    } else {
+                        (total * total - b[i] * b[i] - b[j] * b[j])
+                            / (total * (total - b[i]) * (total - b[j]))
+                    }
+                }),
+                WeightKind::Variance => Matrix::from_fn(3, |i, j| {
+                    if i == j {
+                        total * b[i] / (total - b[i])
+                    } else {
+                        b[i] * b[j] * (total - b[i] - b[j]) / ((total - b[i]) * (total - b[j]))
+                    }
+                }),
+            };
+            let quad = |w: &[f64]| {
+                let mut acc = 0.0;
+                for i in 0..3 {
+                    for j in 0..3 {
+                        acc += w[i] * a.at(i, j) * w[j];
+                    }
+                }
+                acc
+            };
+            let base = quad(&w);
+            for delta in [0.05f64, -0.08, 0.12] {
+                // Shift mass between nodes 0 and 2, keeping the sum at 1.
+                let perturbed = vec![w[0] + delta, w[1], w[2] - delta];
+                assert!(quad(&perturbed) >= base - 1e-12, "{kind:?} delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_batches() {
+        assert!(optimal_weights(&[8.0], 8.0, WeightKind::GradNorm).is_err());
+        assert!(optimal_weights(&[8.0, 0.0], 8.0, WeightKind::GradNorm).is_err());
+        assert!(optimal_weights(&[8.0, 8.0], 8.0, WeightKind::Variance).is_err());
+    }
+}

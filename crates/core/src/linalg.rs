@@ -1,0 +1,246 @@
+//! Dense linear algebra for small systems.
+//!
+//! Two call sites need to solve `A x = b` for `n ≤ 64`: the Theorem 4.1
+//! minimum-variance weights (`A` is the scaled covariance matrix of the
+//! per-node estimators) and validation tooling. Partial-pivot Gaussian
+//! elimination is ample at this size — `O(n³)`, matching the complexity
+//! the paper quotes for its checks.
+
+use crate::error::CannikinError;
+
+/// A dense square matrix in row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create an `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Build from a row-major closure.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "matrix index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        assert!(i < self.n && j < self.n, "matrix index out of range");
+        &mut self.data[i * self.n + j]
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CannikinError::SingularSystem`] when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, CannikinError> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for row in col + 1..n {
+                let v = a[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-300 {
+                return Err(CannikinError::SingularSystem("linalg::solve"));
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            let diag = a[col * n + col];
+            for row in col + 1..n {
+                let factor = a[row * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in col + 1..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+/// Ordinary least squares fit of `y = slope·x + intercept`.
+///
+/// Returns `None` when fewer than two *distinct* x values are present (the
+/// paper's condition for a usable compute-time model: at least two local
+/// batch sizes must have been observed).
+pub fn fit_line(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let weighted: Vec<(f64, f64, f64)> = points.iter().map(|&(x, y)| (x, y, 1.0)).collect();
+    fit_line_weighted(&weighted)
+}
+
+/// Weighted least squares fit of `y = slope·x + intercept` over
+/// `(x, y, weight)` triples.
+///
+/// Used by the analyzer with recency weights so that observations from
+/// before a resource change (e.g. a co-located workload appearing or
+/// leaving, §6) stop anchoring the model. Returns `None` when the
+/// weighted x-spread is degenerate (effectively one batch size left).
+pub fn fit_line_weighted(points: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
+    let live: Vec<&(f64, f64, f64)> = points.iter().filter(|p| p.2 > 0.0).collect();
+    if live.len() < 2 {
+        return None;
+    }
+    let sw: f64 = live.iter().map(|p| p.2).sum();
+    let sx: f64 = live.iter().map(|p| p.2 * p.0).sum();
+    let sy: f64 = live.iter().map(|p| p.2 * p.1).sum();
+    let sxx: f64 = live.iter().map(|p| p.2 * p.0 * p.0).sum();
+    let sxy: f64 = live.iter().map(|p| p.2 * p.0 * p.1).sum();
+    let denom = sw * sxx - sx * sx;
+    if denom.abs() < 1e-9 * sxx.max(1.0) {
+        return None; // weighted x values effectively identical
+    }
+    let slope = (sw * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / sw;
+    Some((slope, intercept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::from_fn(3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let a = Matrix::from_fn(2, |i, j| [[2.0, 1.0], [1.0, 3.0]][i][j]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_fn(2, |i, j| [[0.0, 1.0], [1.0, 0.0]][i][j]);
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![9.0, 7.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_fn(2, |i, _| if i == 0 { 1.0 } else { 2.0 });
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(CannikinError::SingularSystem(_))));
+    }
+
+    #[test]
+    fn solve_random_roundtrip() {
+        // Verify A·x == b for a random well-conditioned system.
+        let n = 8;
+        let a = Matrix::from_fn(n, |i, j| {
+            let base = ((i * 31 + j * 17) % 13) as f64 / 13.0;
+            if i == j {
+                base + 5.0
+            } else {
+                base
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = a.solve(&b).unwrap();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a.at(i, j) * x[j];
+            }
+            assert!((acc - b[i]).abs() < 1e-9, "row {i}: {acc} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn fit_line_exact() {
+        let pts = vec![(1.0, 3.0), (2.0, 5.0), (4.0, 9.0)];
+        let (slope, intercept) = fit_line(&pts).unwrap();
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_line_least_squares_on_noise() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                // Deterministic "noise" that averages out.
+                let e = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 3.0 * x + 7.0 + e)
+            })
+            .collect();
+        let (slope, intercept) = fit_line(&pts).unwrap();
+        assert!((slope - 3.0).abs() < 1e-3);
+        assert!((intercept - 7.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fit_line_rejects_degenerate() {
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(fit_line(&[]).is_none());
+    }
+}

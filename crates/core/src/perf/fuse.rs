@@ -1,0 +1,128 @@
+//! Weighted fusion of scalar observation streams.
+
+use super::MeasurementAggregation;
+
+/// A fused scalar estimate with its accumulated weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fused {
+    /// Current weighted mean.
+    pub value: f64,
+    /// Total weight absorbed so far (number of observations for naive
+    /// averaging, Σ1/σᵢ² for inverse-variance weighting).
+    pub weight: f64,
+}
+
+/// Running weighted mean over observations `(x, σ²_rel)`.
+///
+/// With [`MeasurementAggregation::InverseVariance`] each observation is
+/// weighted `1/σ²`; with [`MeasurementAggregation::NaiveMean`] all
+/// observations weigh 1. The estimate is windowless (a true running mean):
+/// the constants being estimated — γ, `T_comm`, `T_u` — are stationary for
+/// a fixed (cluster, job) pair, per §3.2.2.
+#[derive(Debug, Clone)]
+pub struct WeightedFuser {
+    mode: MeasurementAggregation,
+    sum_w: f64,
+    sum_wx: f64,
+}
+
+impl WeightedFuser {
+    /// Create a fuser with the given aggregation mode.
+    pub fn new(mode: MeasurementAggregation) -> Self {
+        WeightedFuser { mode, sum_w: 0.0, sum_wx: 0.0 }
+    }
+
+    /// Fold in one observation with relative variance `rel_variance`.
+    ///
+    /// Observations with non-finite values are ignored; a zero variance
+    /// under IVW is clamped to a tiny floor rather than producing an
+    /// infinite weight.
+    pub fn observe(&mut self, value: f64, rel_variance: f64) {
+        if !value.is_finite() || !rel_variance.is_finite() || rel_variance < 0.0 {
+            return;
+        }
+        let w = match self.mode {
+            MeasurementAggregation::InverseVariance => 1.0 / rel_variance.max(1e-12),
+            MeasurementAggregation::NaiveMean => 1.0,
+        };
+        self.sum_w += w;
+        self.sum_wx += w * value;
+    }
+
+    /// Current estimate, or `None` before any observation.
+    pub fn estimate(&self) -> Option<Fused> {
+        (self.sum_w > 0.0).then(|| Fused { value: self.sum_wx / self.sum_w, weight: self.sum_w })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_mean_is_plain_average() {
+        let mut f = WeightedFuser::new(MeasurementAggregation::NaiveMean);
+        f.observe(1.0, 0.01);
+        f.observe(3.0, 100.0);
+        assert!((f.estimate().unwrap().value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ivw_discounts_noisy_observers() {
+        let mut f = WeightedFuser::new(MeasurementAggregation::InverseVariance);
+        f.observe(1.0, 1e-4); // precise
+        f.observe(100.0, 1.0); // very noisy outlier
+        let v = f.estimate().unwrap().value;
+        assert!(v < 1.1, "fused {v} should stay near the precise observation");
+    }
+
+    #[test]
+    fn ivw_beats_naive_on_synthetic_streams() {
+        // Two observers of a constant 5.0: one with sigma 0.01, one with
+        // sigma 0.5. IVW's squared error must be smaller.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut normal = move || {
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let mut err_ivw = 0.0;
+        let mut err_naive = 0.0;
+        for _ in 0..300 {
+            let mut ivw = WeightedFuser::new(MeasurementAggregation::InverseVariance);
+            let mut naive = WeightedFuser::new(MeasurementAggregation::NaiveMean);
+            for _ in 0..4 {
+                let precise = 5.0 + 0.01 * normal();
+                let noisy = 5.0 + 0.5 * normal();
+                ivw.observe(precise, 1e-4);
+                ivw.observe(noisy, 0.25);
+                naive.observe(precise, 1e-4);
+                naive.observe(noisy, 0.25);
+            }
+            err_ivw += (ivw.estimate().unwrap().value - 5.0).powi(2);
+            err_naive += (naive.estimate().unwrap().value - 5.0).powi(2);
+        }
+        assert!(err_ivw < err_naive / 10.0, "ivw {err_ivw} vs naive {err_naive}");
+    }
+
+    #[test]
+    fn ignores_garbage() {
+        let mut f = WeightedFuser::new(MeasurementAggregation::InverseVariance);
+        f.observe(f64::NAN, 0.01);
+        f.observe(1.0, f64::INFINITY);
+        assert!(f.estimate().is_none());
+        f.observe(2.0, 0.01);
+        assert_eq!(f.estimate().unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn zero_variance_does_not_poison() {
+        let mut f = WeightedFuser::new(MeasurementAggregation::InverseVariance);
+        f.observe(1.0, 0.0);
+        f.observe(2.0, 0.0);
+        let v = f.estimate().unwrap().value;
+        assert!((v - 1.5).abs() < 1e-9);
+    }
+}

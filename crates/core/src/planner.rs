@@ -1,0 +1,144 @@
+//! One-shot planning: "I have this cluster and this job — what should I
+//! run?"
+//!
+//! [`plan`] wraps the full decision pipeline (oracle or learned models →
+//! OptPerf sweep → goodput ranking) into a single call that returns a
+//! ranked report of batch-size candidates. The engines use the same
+//! machinery incrementally; this entry point exists for capacity-planning
+//! tools and the examples.
+
+use crate::error::CannikinError;
+use crate::gns::{goodput, statistical_efficiency};
+use crate::optperf::{even_split, predict_batch_time, OptPerfSolver, Plan, SolverInput};
+
+/// One evaluated batch-size candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateReport {
+    /// Total batch size.
+    pub total: u64,
+    /// The optimal split and its predicted batch time.
+    pub plan: Plan,
+    /// Predicted time of the even split at the same total, s.
+    pub even_time: f64,
+    /// Statistical efficiency at this total.
+    pub efficiency: f64,
+    /// Goodput (reference-batch samples per second).
+    pub goodput: f64,
+}
+
+impl CandidateReport {
+    /// Speedup of the optimal split over the even split.
+    pub fn split_speedup(&self) -> f64 {
+        self.even_time / self.plan.opt_perf
+    }
+}
+
+/// The full planning report: candidates ranked by goodput, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Evaluated candidates, best goodput first.
+    pub candidates: Vec<CandidateReport>,
+}
+
+impl PlanReport {
+    /// The goodput-maximizing candidate.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `plan` guarantees at least one candidate.
+    pub fn best(&self) -> &CandidateReport {
+        &self.candidates[0]
+    }
+}
+
+/// Evaluate a geometric grid of batch-size candidates for the given
+/// models, gradient noise scale `phi` and reference batch `base_batch`.
+///
+/// # Errors
+///
+/// Returns an error when no candidate in `[min_batch, max_batch]` is
+/// feasible for the cluster.
+pub fn plan(
+    input: &SolverInput,
+    phi: f64,
+    base_batch: u64,
+    min_batch: u64,
+    max_batch: u64,
+) -> Result<PlanReport, CannikinError> {
+    assert!(min_batch > 0 && min_batch <= max_batch, "invalid batch range");
+    let n = input.len();
+    let mut solver = OptPerfSolver::new(input.clone());
+    let lo = min_batch.max(n as u64) as f64;
+    let hi = max_batch as f64;
+    let count = (((hi / lo).log10() * 12.0).ceil() as usize).clamp(2, 40);
+    let mut candidates = Vec::new();
+    for i in 0..=count {
+        let total = (lo * (hi / lo).powf(i as f64 / count as f64)).round() as u64;
+        if candidates.iter().any(|c: &CandidateReport| c.total == total) {
+            continue;
+        }
+        let Ok(plan) = solver.solve(total) else { continue };
+        let even_time = predict_batch_time(input, &even_split(total, n));
+        let efficiency = statistical_efficiency(phi, base_batch, total);
+        let g = goodput(phi, base_batch, total, plan.opt_perf);
+        candidates.push(CandidateReport { total, plan, even_time, efficiency, goodput: g });
+    }
+    if candidates.is_empty() {
+        return Err(CannikinError::InfeasibleBatch {
+            total: min_batch,
+            reason: "no candidate in the range is feasible for this cluster".into(),
+        });
+    }
+    candidates.sort_by(|a, b| b.goodput.total_cmp(&a.goodput));
+    Ok(PlanReport { candidates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::{ClusterSpec, NodeSpec};
+    use hetsim::job::JobSpec;
+
+    fn input() -> SolverInput {
+        let cluster = ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        );
+        SolverInput::from_ground_truth(&cluster, &JobSpec::resnet50_imagenet())
+    }
+
+    #[test]
+    fn report_is_ranked_and_consistent() {
+        let report = plan(&input(), 800.0, 100, 100, 2048).expect("feasible");
+        assert!(report.candidates.len() >= 5);
+        for pair in report.candidates.windows(2) {
+            assert!(pair[0].goodput >= pair[1].goodput);
+        }
+        for c in &report.candidates {
+            assert_eq!(c.plan.local_batches.iter().sum::<u64>(), c.total);
+            assert!(c.split_speedup() >= 1.0 - 1e-9, "optimal can't lose to even");
+            assert!(c.efficiency > 0.0 && c.efficiency <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_tracks_noise_scale() {
+        let quiet = plan(&input(), 100.0, 100, 100, 4096).expect("feasible");
+        let noisy = plan(&input(), 20_000.0, 100, 100, 4096).expect("feasible");
+        assert!(noisy.best().total > quiet.best().total);
+    }
+
+    #[test]
+    fn infeasible_range_is_an_error() {
+        let mut tight = input();
+        for node in tight.nodes.iter_mut() {
+            node.max_batch = Some(2);
+        }
+        assert!(plan(&tight, 100.0, 100, 100, 4096).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared across `minidnn`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `minidnn` operations.
+///
+/// Most tensor kernels panic on programmer errors (shape mismatches caught
+/// by `debug_assert!`-style checks) because silently propagating a bad shape
+/// through a training loop is worse than failing fast; `DnnError` is used on
+/// the fallible API surface (construction from user input, dataset loading).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnnError {
+    /// A tensor was constructed from data whose length does not match the
+    /// product of the requested dimensions.
+    ShapeMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements supplied.
+        len: usize,
+    },
+    /// Two tensors participating in a binary operation had incompatible
+    /// shapes.
+    IncompatibleShapes {
+        /// Left operand shape.
+        left: Vec<usize>,
+        /// Right operand shape.
+        right: Vec<usize>,
+        /// Name of the operation.
+        op: &'static str,
+    },
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::ShapeMismatch { shape, len } => {
+                write!(f, "shape {shape:?} requires {} elements, got {len}", shape.iter().product::<usize>())
+            }
+            DnnError::IncompatibleShapes { left, right, op } => {
+                write!(f, "incompatible shapes for {op}: {left:?} vs {right:?}")
+            }
+            DnnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = DnnError::ShapeMismatch { shape: vec![2, 3], len: 5 };
+        assert_eq!(err.to_string(), "shape [2, 3] requires 6 elements, got 5");
+    }
+
+    #[test]
+    fn display_incompatible() {
+        let err = DnnError::IncompatibleShapes { left: vec![2], right: vec![3], op: "add" };
+        assert!(err.to_string().contains("add"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

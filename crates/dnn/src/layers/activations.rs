@@ -1,0 +1,152 @@
+//! Elementwise activation layers.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+macro_rules! stateless_activation {
+    ($(#[$meta:meta])* $name:ident, $fwd:expr, $bwd:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            input: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Create the activation layer.
+            pub fn new() -> Self {
+                Self { input: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+                self.input = Some(x.clone());
+                x.map($fwd)
+            }
+
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                let x = self.input.as_ref().expect("backward called before forward");
+                let local: fn(f32) -> f32 = $bwd;
+                grad_out.mul(&x.map(local))
+            }
+
+            fn parameters(&self) -> Vec<&Param> {
+                Vec::new()
+            }
+        }
+    };
+}
+
+stateless_activation!(
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    |x| x.max(0.0),
+    |x| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+stateless_activation!(
+    /// Hyperbolic tangent.
+    Tanh,
+    f32::tanh,
+    |x| 1.0 - x.tanh() * x.tanh()
+);
+
+stateless_activation!(
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+    |x| 1.0 / (1.0 + (-x).exp()),
+    |x| {
+        let s = 1.0 / (1.0 + (-x).exp());
+        s * (1.0 - s)
+    }
+);
+
+stateless_activation!(
+    /// Gaussian error linear unit (tanh approximation, as used by BERT).
+    Gelu,
+    gelu_forward,
+    gelu_derivative
+);
+
+fn gelu_forward(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+fn gelu_derivative(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad<L: Layer>(layer: &mut L, x: &Tensor, idx: usize) -> f32 {
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        xp.data_mut()[idx] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[idx] -= eps;
+        (layer.forward(&xp, true).sum() - layer.forward(&xm, true).sum()) / (2.0 * eps)
+    }
+
+    fn check_layer<L: Layer>(mut layer: L, tolerance: f32) {
+        let x = Tensor::randn(&[3, 4], 21).scale(2.0);
+        let y = layer.forward(&x, true);
+        let gx = layer.backward(&Tensor::ones(y.shape()));
+        for idx in 0..x.len() {
+            // Re-run forward on the perturbed input last so the cached input
+            // corresponds to the analytic gradient computed above.
+            let n = numeric_grad(&mut layer, &x, idx);
+            assert!((n - gx.data()[idx]).abs() < tolerance, "idx {idx}: numeric {n} vs analytic {}", gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        check_layer(Relu::new(), 5e-2); // kink at zero makes fd noisy
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        check_layer(Tanh::new(), 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        check_layer(Sigmoid::new(), 1e-2);
+    }
+
+    #[test]
+    fn gelu_gradcheck() {
+        check_layer(Gelu::new(), 1e-2);
+    }
+
+    #[test]
+    fn relu_known_values() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_slice(&[-1.0, 0.0, 2.0]), true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU(large) ≈ identity, GELU(-large) ≈ 0.
+        assert_eq!(gelu_forward(0.0), 0.0);
+        assert!((gelu_forward(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu_forward(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_slice(&[-50.0, 0.0, 50.0]), true);
+        assert!(y.data()[0] < 1e-6);
+        assert_eq!(y.data()[1], 0.5);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+}

@@ -1,0 +1,330 @@
+//! Multi-head self-attention (the transformer/BERT building block).
+
+use super::{Layer, Param};
+use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+
+/// Multi-head self-attention over `[batch, seq, dim]` inputs.
+///
+/// `Y = concat_h( softmax(Q_h K_hᵀ / √d_h) V_h ) W_o`, with `Q/K/V`
+/// produced by learned projections of the input. The backward pass is
+/// written out explicitly (including the softmax Jacobian), making this
+/// the heaviest hand-differentiated layer in `minidnn` — and the one that
+/// lets the BERT/SQuAD workload run on real gradients.
+#[derive(Debug)]
+pub struct MultiHeadSelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    bq: Param,
+    bk: Param,
+    bv: Param,
+    bo: Param,
+    heads: usize,
+    dim: usize,
+    cache: Option<AttnCache>,
+    concat: Option<Tensor>,
+}
+
+#[derive(Debug)]
+struct AttnCache {
+    x: Tensor, // [batch*seq, dim]
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Per (batch, head): softmaxed attention matrix [seq, seq].
+    attn: Vec<Tensor>,
+    batch: usize,
+    seq: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Create an attention layer with `heads` heads over `dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dim` is a positive multiple of `heads`.
+    pub fn new(dim: usize, heads: usize, seed: u64) -> Self {
+        assert!(heads > 0 && dim > 0 && dim.is_multiple_of(heads), "dim must be a positive multiple of heads");
+        let w = |s: u64| Tensor::xavier(&[dim, dim], dim, dim, s);
+        MultiHeadSelfAttention {
+            wq: Param::new(w(seed), "attn.wq"),
+            wk: Param::new(w(seed.wrapping_add(1)), "attn.wk"),
+            wv: Param::new(w(seed.wrapping_add(2)), "attn.wv"),
+            wo: Param::new(w(seed.wrapping_add(3)), "attn.wo"),
+            bq: Param::new(Tensor::zeros(&[dim]), "attn.bq"),
+            bk: Param::new(Tensor::zeros(&[dim]), "attn.bk"),
+            bv: Param::new(Tensor::zeros(&[dim]), "attn.bv"),
+            bo: Param::new(Tensor::zeros(&[dim]), "attn.bo"),
+            heads,
+            dim,
+            cache: None,
+            concat: None,
+        }
+    }
+
+    fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Slice head `h` of a `[seq, dim]` matrix into `[seq, head_dim]`.
+    fn head(&self, m: &Tensor, h: usize) -> Tensor {
+        let (seq, dh) = (m.rows(), self.head_dim());
+        let mut out = Vec::with_capacity(seq * dh);
+        for r in 0..seq {
+            let base = r * self.dim + h * dh;
+            out.extend_from_slice(&m.data()[base..base + dh]);
+        }
+        Tensor::from_vec(out, &[seq, dh]).expect("head slice")
+    }
+
+    /// Accumulate a `[seq, head_dim]` gradient back into head `h` of a
+    /// `[seq, dim]` matrix.
+    fn scatter_head(&self, target: &mut Tensor, grad: &Tensor, h: usize) {
+        let (seq, dh) = (grad.rows(), self.head_dim());
+        for r in 0..seq {
+            let base = r * self.dim + h * dh;
+            for c in 0..dh {
+                target.data_mut()[base + c] += grad.data()[r * dh + c];
+            }
+        }
+    }
+}
+
+impl Layer for MultiHeadSelfAttention {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "attention input must be [batch, seq, dim], got {shape:?}");
+        assert_eq!(shape[2], self.dim, "attention dim mismatch");
+        let (batch, seq) = (shape[0], shape[1]);
+        let flat = x.clone().reshape(&[batch * seq, self.dim]);
+        let q = matmul(&flat, &self.wq.value).add_row_broadcast(&self.bq.value);
+        let k = matmul(&flat, &self.wk.value).add_row_broadcast(&self.bk.value);
+        let v = matmul(&flat, &self.wv.value).add_row_broadcast(&self.bv.value);
+
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut concat = Tensor::zeros(&[batch * seq, self.dim]);
+        let mut attn_cache = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            let qb = q.slice_rows(b * seq, (b + 1) * seq);
+            let kb = k.slice_rows(b * seq, (b + 1) * seq);
+            let vb = v.slice_rows(b * seq, (b + 1) * seq);
+            for h in 0..self.heads {
+                let qh = self.head(&qb, h);
+                let kh = self.head(&kb, h);
+                let vh = self.head(&vb, h);
+                let mut scores = matmul_a_bt(&qh, &kh);
+                scores.scale_assign(scale);
+                let attn = scores.softmax_rows();
+                let oh = matmul(&attn, &vh); // [seq, dh]
+                for r in 0..seq {
+                    let base = (b * seq + r) * self.dim + h * dh;
+                    concat.data_mut()[base..base + dh]
+                        .copy_from_slice(&oh.data()[r * dh..(r + 1) * dh]);
+                }
+                attn_cache.push(attn);
+            }
+        }
+        let out = matmul(&concat, &self.wo.value).add_row_broadcast(&self.bo.value);
+        self.cache = Some(AttnCache { x: flat, q, k, v, attn: attn_cache, batch, seq });
+        self.concat = Some(concat);
+        out.reshape(&[batch, seq, self.dim])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward called before forward");
+        let concat = self.concat.take().expect("forward stores the concat matrix");
+        let (batch, seq, dh) = (cache.batch, cache.seq, self.head_dim());
+        assert_eq!(grad_out.shape(), &[batch, seq, self.dim], "attention backward shape mismatch");
+        let g = grad_out.clone().reshape(&[batch * seq, self.dim]);
+
+        // Output projection.
+        self.wo.grad.add_assign(&matmul_at_b(&concat, &g));
+        self.bo.grad.add_assign(&g.sum_rows());
+        let d_concat = matmul_a_bt(&g, &self.wo.value); // [batch*seq, dim]
+
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut dq = Tensor::zeros(&[batch * seq, self.dim]);
+        let mut dk = Tensor::zeros(&[batch * seq, self.dim]);
+        let mut dv = Tensor::zeros(&[batch * seq, self.dim]);
+        for b in 0..batch {
+            let qb = cache.q.slice_rows(b * seq, (b + 1) * seq);
+            let kb = cache.k.slice_rows(b * seq, (b + 1) * seq);
+            let vb = cache.v.slice_rows(b * seq, (b + 1) * seq);
+            let d_concat_b = d_concat.slice_rows(b * seq, (b + 1) * seq);
+            for h in 0..self.heads {
+                let attn = &cache.attn[b * self.heads + h];
+                let d_oh = self.head(&d_concat_b, h); // [seq, dh]
+                let vh = self.head(&vb, h);
+                let qh = self.head(&qb, h);
+                let kh = self.head(&kb, h);
+                // dV_h = Aᵀ dO_h ; dA = dO_h V_hᵀ
+                let d_vh = matmul_at_b(attn, &d_oh);
+                let d_attn = matmul_a_bt(&d_oh, &vh);
+                // Softmax Jacobian per row: ds = A ∘ (dA − rowsum(dA ∘ A)).
+                let d_scores = softmax_backward_rows(attn, &d_attn).scale(scale);
+                // dQ_h = dS K_h ; dK_h = dSᵀ Q_h
+                let d_qh = matmul(&d_scores, &kh);
+                let d_kh = matmul_at_b(&d_scores, &qh);
+                // Scatter back into the per-batch rows.
+                let mut dq_b = Tensor::zeros(&[seq, self.dim]);
+                let mut dk_b = Tensor::zeros(&[seq, self.dim]);
+                let mut dv_b = Tensor::zeros(&[seq, self.dim]);
+                self.scatter_head(&mut dq_b, &d_qh, h);
+                self.scatter_head(&mut dk_b, &d_kh, h);
+                self.scatter_head(&mut dv_b, &d_vh, h);
+                for r in 0..seq {
+                    let dst = (b * seq + r) * self.dim;
+                    for c in 0..self.dim {
+                        dq.data_mut()[dst + c] += dq_b.data()[r * self.dim + c];
+                        dk.data_mut()[dst + c] += dk_b.data()[r * self.dim + c];
+                        dv.data_mut()[dst + c] += dv_b.data()[r * self.dim + c];
+                    }
+                }
+            }
+        }
+
+        // Input projections.
+        self.wq.grad.add_assign(&matmul_at_b(&cache.x, &dq));
+        self.wk.grad.add_assign(&matmul_at_b(&cache.x, &dk));
+        self.wv.grad.add_assign(&matmul_at_b(&cache.x, &dv));
+        self.bq.grad.add_assign(&dq.sum_rows());
+        self.bk.grad.add_assign(&dk.sum_rows());
+        self.bv.grad.add_assign(&dv.sum_rows());
+        let dx = matmul_a_bt(&dq, &self.wq.value)
+            .add(&matmul_a_bt(&dk, &self.wk.value))
+            .add(&matmul_a_bt(&dv, &self.wv.value));
+        dx.reshape(&[batch, seq, self.dim])
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.wq, &self.wk, &self.wv, &self.wo, &self.bq, &self.bk, &self.bv, &self.bo]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wq,
+            &mut self.wk,
+            &mut self.wv,
+            &mut self.wo,
+            &mut self.bq,
+            &mut self.bk,
+            &mut self.bv,
+            &mut self.bo,
+        ]
+    }
+}
+
+/// Row-wise softmax Jacobian-vector product: `A ∘ (dA − rowsum(dA ∘ A))`.
+fn softmax_backward_rows(attn: &Tensor, d_attn: &Tensor) -> Tensor {
+    let (r, c) = (attn.rows(), attn.cols());
+    let mut out = Tensor::zeros(&[r, c]);
+    for i in 0..r {
+        let a = &attn.data()[i * c..(i + 1) * c];
+        let da = &d_attn.data()[i * c..(i + 1) * c];
+        let dot: f32 = a.iter().zip(da).map(|(x, y)| x * y).sum();
+        for j in 0..c {
+            out.data_mut()[i * c + j] = a[j] * (da[j] - dot);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut attn = MultiHeadSelfAttention::new(8, 2, 51);
+        let x = Tensor::randn(&[2, 5, 8], 52);
+        let y = attn.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 5, 8]);
+        let gx = attn.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let s = Tensor::randn(&[4, 6], 53).softmax_rows();
+        for i in 0..4 {
+            let row: f32 = s.data()[i * 6..(i + 1) * 6].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+            assert!(s.data()[i * 6..(i + 1) * 6].iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut attn = MultiHeadSelfAttention::new(4, 2, 54);
+        let x = Tensor::randn(&[1, 3, 4], 55);
+        let y = attn.forward(&x, true);
+        let gy = y.scale(2.0); // loss = Σ y²
+        let gx = attn.backward(&gy);
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = attn.forward(&xp, true).map(|v| v * v).sum();
+            let lm = attn.forward(&xm, true).map(|v| v * v).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 0.03,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_projections() {
+        let mut attn = MultiHeadSelfAttention::new(4, 1, 56);
+        let x = Tensor::randn(&[1, 3, 4], 57);
+        let y = attn.forward(&x, true);
+        attn.backward(&y.scale(2.0));
+        let eps = 1e-2f32;
+        // Spot-check a few weights in each projection.
+        for (name, pick) in [("wq", 0usize), ("wk", 5), ("wv", 9), ("wo", 14)] {
+            let analytic = {
+                let p = attn.parameters();
+                let param = p.iter().find(|p| p.name.ends_with(name)).expect("param");
+                param.grad.data()[pick]
+            };
+            let perturb = |delta: f32, attn: &mut MultiHeadSelfAttention| {
+                let mut params = attn.parameters_mut();
+                let param = params.iter_mut().find(|p| p.name.ends_with(name)).expect("param");
+                param.value.data_mut()[pick] += delta;
+            };
+            perturb(eps, &mut attn);
+            let lp = attn.forward(&x, true).map(|v| v * v).sum();
+            perturb(-2.0 * eps, &mut attn);
+            let lm = attn.forward(&x, true).map(|v| v * v).sum();
+            perturb(eps, &mut attn);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 0.05,
+                "{name}[{pick}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn heads_partition_the_dim() {
+        // With one head vs two heads the parameter count is identical but
+        // the attention pattern differs.
+        let mut one = MultiHeadSelfAttention::new(8, 1, 58);
+        let mut two = MultiHeadSelfAttention::new(8, 2, 58);
+        let x = Tensor::randn(&[1, 4, 8], 59);
+        let y1 = one.forward(&x, true);
+        let y2 = two.forward(&x, true);
+        assert_eq!(y1.shape(), y2.shape());
+        assert_ne!(y1, y2);
+        assert_eq!(
+            one.parameters().iter().map(|p| p.len()).sum::<usize>(),
+            two.parameters().iter().map(|p| p.len()).sum::<usize>()
+        );
+    }
+}

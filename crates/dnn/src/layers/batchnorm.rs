@@ -1,0 +1,250 @@
+//! 2-D batch normalization.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Batch normalization over `[batch, c, h, w]` inputs: per-channel
+/// statistics across the batch and spatial dimensions, learnable per-channel
+/// gain/bias, and running statistics for evaluation mode.
+///
+/// Note for data-parallel training: unlike every other layer here, batch
+/// norm's *training-mode* output depends on which samples share a device
+/// (local batch statistics), so Eq. (9) weighted aggregation reproduces the
+/// single-machine gradient only in expectation, not exactly — the same
+/// caveat real DDP has without SyncBatchNorm.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gain: Param,
+    bias: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Create a batch-norm layer over `channels` with momentum 0.1 and
+    /// `eps = 1e-5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "batch norm needs at least one channel");
+        BatchNorm2d {
+            gain: Param::new(Tensor::ones(&[channels]), "bn.gain"),
+            bias: Param::new(Tensor::zeros(&[channels]), "bn.bias"),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// The tracked running mean (evaluation statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The tracked running variance (evaluation statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "batch norm input must be [batch, c, h, w]");
+        assert_eq!(shape[1], self.channels, "batch norm channel mismatch");
+        let (batch, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let per_channel = (batch * h * w) as f32;
+        let mut out = Tensor::zeros(shape);
+        let mut normalized = Tensor::zeros(shape);
+        let mut inv_std = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                for b in 0..batch {
+                    let base = (b * c + ch) * h * w;
+                    sum += x.data()[base..base + h * w].iter().map(|&v| f64::from(v)).sum::<f64>();
+                }
+                let mean = (sum / f64::from(per_channel)) as f32;
+                let mut var_sum = 0.0f64;
+                for b in 0..batch {
+                    let base = (b * c + ch) * h * w;
+                    var_sum += x.data()[base..base + h * w]
+                        .iter()
+                        .map(|&v| f64::from((v - mean) * (v - mean)))
+                        .sum::<f64>();
+                }
+                let var = (var_sum / f64::from(per_channel)) as f32;
+                self.running_mean[ch] = (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] = (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std[ch] = is;
+            let g = self.gain.value.data()[ch];
+            let bias = self.bias.value.data()[ch];
+            for b in 0..batch {
+                let base = (b * c + ch) * h * w;
+                for i in 0..h * w {
+                    let xn = (x.data()[base + i] - mean) * is;
+                    normalized.data_mut()[base + i] = xn;
+                    out.data_mut()[base + i] = g * xn + bias;
+                }
+            }
+        }
+        self.cache = if train {
+            Some(BnCache { normalized, inv_std, in_shape: shape.to_vec() })
+        } else {
+            None
+        };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward called before training-mode forward");
+        let shape = &cache.in_shape;
+        assert_eq!(grad_out.shape(), &shape[..], "batch norm backward shape mismatch");
+        let (batch, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let n = (batch * h * w) as f32;
+        let mut dx = Tensor::zeros(shape);
+        for ch in 0..c {
+            // Collect per-channel reductions.
+            let mut sum_g = 0.0f64;
+            let mut sum_gx = 0.0f64;
+            for b in 0..batch {
+                let base = (b * c + ch) * h * w;
+                for i in 0..h * w {
+                    let g = f64::from(grad_out.data()[base + i]);
+                    sum_g += g;
+                    sum_gx += g * f64::from(cache.normalized.data()[base + i]);
+                }
+            }
+            self.bias.grad.data_mut()[ch] += sum_g as f32;
+            self.gain.grad.data_mut()[ch] += sum_gx as f32;
+            let gain = self.gain.value.data()[ch];
+            let is = cache.inv_std[ch];
+            let mean_g = sum_g as f32 / n;
+            let mean_gx = sum_gx as f32 / n;
+            for b in 0..batch {
+                let base = (b * c + ch) * h * w;
+                for i in 0..h * w {
+                    let g = grad_out.data()[base + i];
+                    let xn = cache.normalized.data()[base + i];
+                    dx.data_mut()[base + i] = gain * is * (g - mean_g - xn * mean_gx);
+                }
+            }
+        }
+        dx
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.gain, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_output_is_normalized_per_channel() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[4, 3, 5, 5], 61).scale(2.5).add_scalar(-1.0);
+        let y = bn.forward(&x, true);
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let base = (b * 3 + ch) * 25;
+                vals.extend_from_slice(&y.data()[base..base + 25]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        // Warm the running statistics with many training batches.
+        for seed in 0..50 {
+            let x = Tensor::randn(&[8, 2, 4, 4], seed).scale(3.0).add_scalar(2.0);
+            let _ = bn.forward(&x, true);
+        }
+        assert!((bn.running_mean()[0] - 2.0).abs() < 0.3, "running mean {:?}", bn.running_mean());
+        assert!((bn.running_var()[0] - 9.0).abs() < 1.5, "running var {:?}", bn.running_var());
+        // Eval on a *shifted* batch must use running stats, not batch stats.
+        let x = Tensor::randn(&[4, 2, 4, 4], 99).add_scalar(50.0);
+        let y = bn.forward(&x, false);
+        assert!(y.mean() > 5.0, "eval must not re-normalize with batch stats: {}", y.mean());
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut bn = BatchNorm2d::new(2);
+        bn.gain.value = Tensor::randn(&[2], 62).add_scalar(1.5);
+        bn.bias.value = Tensor::randn(&[2], 63);
+        let x = Tensor::randn(&[2, 2, 3, 3], 64);
+        // Loss = Σ y² for a non-uniform upstream gradient.
+        let y = bn.forward(&x, true);
+        let gy = y.scale(2.0);
+        let gx = bn.backward(&gy);
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 13, 20, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = bn.forward(&xp, true).map(|v| v * v).sum();
+            let lm = bn.forward(&xm, true).map(|v| v * v).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.data()[idx]).abs() < 0.06, "x[{idx}]: {numeric} vs {}", gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn gradient_check_gain_and_bias() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[3, 2, 2, 2], 65);
+        let y = bn.forward(&x, true);
+        bn.backward(&Tensor::ones(y.shape()));
+        // bias grad with unit upstream = number of contributing elements.
+        for &g in bn.bias.grad.data() {
+            assert_eq!(g, (3 * 2 * 2) as f32);
+        }
+        let analytic = bn.gain.grad.clone();
+        let eps = 1e-3f32;
+        for ch in 0..2 {
+            let orig = bn.gain.value.data()[ch];
+            bn.gain.value.data_mut()[ch] = orig + eps;
+            let plus = bn.forward(&x, true).sum();
+            bn.gain.value.data_mut()[ch] = orig - eps;
+            let minus = bn.forward(&x, true).sum();
+            bn.gain.value.data_mut()[ch] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - analytic.data()[ch]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! 2-D convolution via im2col.
+
+use super::{Layer, Param};
+use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+
+/// 2-D convolution over `[batch, in_c, h, w]` inputs.
+///
+/// The implementation lowers each sample to an im2col matrix of shape
+/// `[in_c·kh·kw, oh·ow]` and uses a single matrix multiplication per sample,
+/// which is the standard CPU strategy and keeps the backward pass to two
+/// more matmuls plus a col2im scatter.
+///
+/// # Examples
+///
+/// ```
+/// use minidnn::layers::{Conv2d, Layer};
+/// use minidnn::tensor::Tensor;
+///
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0);
+/// let y = conv.forward(&Tensor::randn(&[2, 3, 8, 8], 1), true);
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    cols: Vec<Tensor>,
+    in_shape: Vec<usize>,
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Create a square-kernel convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_channels`, `out_channels`, `kernel` or `stride`
+    /// is zero.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0, "conv dimensions must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(Tensor::kaiming(&[out_channels, fan_in], fan_in, seed), "conv.weight"),
+            bias: Param::new(Tensor::zeros(&[out_channels]), "conv.bias"),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for an input of the given height/width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let hp = h + 2 * self.padding;
+        let wp = w + 2 * self.padding;
+        assert!(hp >= self.kernel && wp >= self.kernel, "input {h}x{w} too small for kernel {}", self.kernel);
+        ((hp - self.kernel) / self.stride + 1, (wp - self.kernel) / self.stride + 1)
+    }
+
+    /// Lower one sample `[in_c, h, w]` to `[in_c·k·k, oh·ow]`.
+    fn im2col(&self, x: &[f32], h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
+        let k = self.kernel;
+        let rows = self.in_channels * k * k;
+        let mut out = vec![0.0f32; rows * oh * ow];
+        for c in 0..self.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oi in 0..oh {
+                        let ii = (oi * self.stride + ki) as isize - self.padding as isize;
+                        for oj in 0..ow {
+                            let jj = (oj * self.stride + kj) as isize - self.padding as isize;
+                            let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                                x[(c * h + ii as usize) * w + jj as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row * (oh * ow) + oi * ow + oj] = v;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[rows, oh * ow]).expect("im2col shape")
+    }
+
+    /// Scatter a `[in_c·k·k, oh·ow]` gradient back to `[in_c, h, w]`.
+    fn col2im(&self, col: &Tensor, h: usize, w: usize, oh: usize, ow: usize, out: &mut [f32]) {
+        let k = self.kernel;
+        let cd = col.data();
+        for c in 0..self.in_channels {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oi in 0..oh {
+                        let ii = (oi * self.stride + ki) as isize - self.padding as isize;
+                        for oj in 0..ow {
+                            let jj = (oj * self.stride + kj) as isize - self.padding as isize;
+                            if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                                out[(c * h + ii as usize) * w + jj as usize] += cd[row * (oh * ow) + oi * ow + oj];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "conv input must be [batch, c, h, w], got {shape:?}");
+        assert_eq!(shape[1], self.in_channels, "conv channel mismatch");
+        let (batch, h, w) = (shape[0], shape[2], shape[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let sample = self.in_channels * h * w;
+        let mut out = Vec::with_capacity(batch * self.out_channels * oh * ow);
+        let mut cols = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let col = self.im2col(&x.data()[b * sample..(b + 1) * sample], h, w, oh, ow);
+            let y = matmul(&self.weight.value, &col); // [out_c, oh*ow]
+            for oc in 0..self.out_channels {
+                let bias = self.bias.value.data()[oc];
+                for s in 0..oh * ow {
+                    out.push(y.data()[oc * oh * ow + s] + bias);
+                }
+            }
+            cols.push(col);
+        }
+        self.cache = Some(ConvCache { cols, in_shape: shape.to_vec(), out_hw: (oh, ow) });
+        Tensor::from_vec(out, &[batch, self.out_channels, oh, ow]).expect("conv output shape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let (oh, ow) = cache.out_hw;
+        let batch = cache.in_shape[0];
+        let (h, w) = (cache.in_shape[2], cache.in_shape[3]);
+        assert_eq!(grad_out.shape(), &[batch, self.out_channels, oh, ow], "conv backward shape mismatch");
+        let spatial = oh * ow;
+        let mut dx = vec![0.0f32; batch * self.in_channels * h * w];
+        let sample = self.in_channels * h * w;
+        for b in 0..batch {
+            let g = Tensor::from_vec(
+                grad_out.data()[b * self.out_channels * spatial..(b + 1) * self.out_channels * spatial].to_vec(),
+                &[self.out_channels, spatial],
+            )
+            .expect("conv grad slice");
+            // dW += g colᵀ ; db += Σ_spatial g ; dcol = Wᵀ g
+            self.weight.grad.add_assign(&matmul_a_bt(&g, &cache.cols[b]));
+            self.bias.grad.add_assign(&g.sum_rows_of_2d_transposed());
+            let dcol = matmul_at_b(&self.weight.value, &g);
+            self.col2im(&dcol, h, w, oh, ow, &mut dx[b * sample..(b + 1) * sample]);
+        }
+        Tensor::from_vec(dx, &cache.in_shape).expect("conv dx shape")
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+impl Tensor {
+    /// Sum a 2-D tensor over its *columns*, producing `[rows]` — i.e. the
+    /// per-output-channel bias gradient for a `[out_c, spatial]` gradient.
+    fn sum_rows_of_2d_transposed(&self) -> Tensor {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; r];
+        for i in 0..r {
+            out[i] = self.data()[i * c..(i + 1) * c].iter().sum();
+        }
+        Tensor::from_vec(out, &[r]).expect("column sum shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_with_padding() {
+        let conv = Conv2d::new(1, 4, 3, 1, 1, 0);
+        assert_eq!(conv.output_hw(5, 5), (5, 5));
+        let conv = Conv2d::new(1, 4, 3, 2, 0, 0);
+        assert_eq!(conv.output_hw(7, 7), (3, 3));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 and bias 0 is the identity.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 0);
+        conv.weight.value.data_mut()[0] = 1.0;
+        let x = Tensor::randn(&[1, 1, 4, 4], 13);
+        let y = conv.forward(&x, true);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 kernel over an all-ones 3x3 input, no padding: single
+        // output = 9.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, 0);
+        conv.weight.value.data_mut().fill(1.0);
+        let y = conv.forward(&Tensor::ones(&[1, 1, 3, 3]), true);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 9.0);
+    }
+
+    #[test]
+    fn gradient_check_weight_and_input() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 17);
+        let x = Tensor::randn(&[2, 2, 4, 4], 18);
+        let y = conv.forward(&x, true);
+        let gx = conv.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-2f32;
+
+        // Weight gradient (spot-check a handful of indices).
+        let analytic = conv.weight.grad.clone();
+        for idx in [0usize, 5, 11, 17] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let plus = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let minus = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 0.05, "w[{idx}]: {numeric} vs {}", analytic.data()[idx]);
+        }
+
+        // Input gradient (spot-check).
+        for idx in [0usize, 7, 20, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (conv.forward(&xp, true).sum() - conv.forward(&xm, true).sum()) / (2.0 * eps);
+            assert!((numeric - gx.data()[idx]).abs() < 0.05, "x[{idx}]: {numeric} vs {}", gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 19);
+        let x = Tensor::randn(&[3, 1, 4, 4], 20);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.shape()));
+        // Each output channel sees batch * oh * ow unit gradients.
+        for &g in conv.bias.grad.data() {
+            assert_eq!(g, (3 * 4 * 4) as f32);
+        }
+    }
+}

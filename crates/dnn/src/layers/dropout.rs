@@ -1,0 +1,112 @@
+//! Inverted dropout.
+
+use super::{Layer, Param};
+use crate::rng;
+use crate::tensor::Tensor;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1 / (1 - p)` so that the
+/// expected activation is unchanged; during evaluation the layer is the
+/// identity.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Create a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        Dropout { p, rng: rng::seeded(seed), mask: None }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.shape()).expect("dropout mask shape");
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::randn(&[4, 4], 2);
+        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn expected_activation_preserved() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::ones(&[1000, 10]);
+        let y = d.forward(&x, true);
+        // E[y] = 1; check the sample mean is close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[8, 8]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[8, 8]));
+        // Gradient is zero exactly where the forward output is zero.
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::randn(&[16], 6);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0, 7);
+    }
+}

@@ -1,0 +1,153 @@
+//! Embedding table.
+
+use super::Param;
+use crate::tensor::Tensor;
+
+/// A lookup table mapping integer ids to dense vectors.
+///
+/// `Embedding` does not implement [`super::Layer`] because its input is a
+/// list of ids rather than a tensor; models such as the NeuMF-style
+/// recommender compose it explicitly. The backward pass accumulates sparse
+/// gradients into the dense table.
+///
+/// # Examples
+///
+/// ```
+/// use minidnn::layers::Embedding;
+///
+/// let mut emb = Embedding::new(100, 8, 3);
+/// let vecs = emb.forward(&[1, 5, 1]);
+/// assert_eq!(vecs.shape(), &[3, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Embedding {
+    table: Param,
+    dim: usize,
+    vocab: usize,
+    last_ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Create an embedding table of `vocab` rows and `dim` columns,
+    /// initialized `N(0, 0.1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0` or `dim == 0`.
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Self {
+        assert!(vocab > 0 && dim > 0, "embedding dimensions must be positive");
+        Embedding {
+            table: Param::new(Tensor::randn(&[vocab, dim], seed).scale(0.1), "embedding.table"),
+            dim,
+            vocab,
+            last_ids: Vec::new(),
+        }
+    }
+
+    /// Look up a batch of ids, producing `[batch, dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            assert!(id < self.vocab, "embedding id {id} out of range {}", self.vocab);
+            out.extend_from_slice(&self.table.value.data()[id * self.dim..(id + 1) * self.dim]);
+        }
+        self.last_ids = ids.to_vec();
+        Tensor::from_vec(out, &[ids.len(), self.dim]).expect("embedding output shape")
+    }
+
+    /// Accumulate gradients for the most recent lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` does not match the shape of the last forward output
+    /// or if called before any forward.
+    pub fn backward(&mut self, grad: &Tensor) {
+        assert!(!self.last_ids.is_empty(), "backward called before forward");
+        assert_eq!(grad.shape(), &[self.last_ids.len(), self.dim], "embedding backward shape mismatch");
+        for (row, &id) in self.last_ids.iter().enumerate() {
+            let g = &grad.data()[row * self.dim..(row + 1) * self.dim];
+            let t = &mut self.table.grad.data_mut()[id * self.dim..(id + 1) * self.dim];
+            for (tv, gv) in t.iter_mut().zip(g) {
+                *tv += gv;
+            }
+        }
+    }
+
+    /// Access the underlying parameter.
+    pub fn param(&self) -> &Param {
+        &self.table
+    }
+
+    /// Mutable access to the underlying parameter.
+    pub fn param_mut(&mut self) -> &mut Param {
+        &mut self.table
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut emb = Embedding::new(10, 4, 1);
+        let row3: Vec<f32> = emb.param().value.data()[12..16].to_vec();
+        let out = emb.forward(&[3]);
+        assert_eq!(out.data(), &row3[..]);
+    }
+
+    #[test]
+    fn repeated_ids_accumulate_gradient() {
+        let mut emb = Embedding::new(5, 2, 2);
+        let _ = emb.forward(&[1, 1, 2]);
+        let grad = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        emb.backward(&grad);
+        // id 1 appears twice: grads [1,2] + [3,4] = [4,6]
+        assert_eq!(&emb.param().grad.data()[2..4], &[4.0, 6.0]);
+        // id 2 once: [5,6]
+        assert_eq!(&emb.param().grad.data()[4..6], &[5.0, 6.0]);
+        // id 0 untouched
+        assert_eq!(&emb.param().grad.data()[0..2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_id() {
+        let mut emb = Embedding::new(3, 2, 3);
+        let _ = emb.forward(&[3]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut emb = Embedding::new(4, 3, 5);
+        let ids = [2usize, 0];
+        let out = emb.forward(&ids);
+        emb.backward(&Tensor::ones(out.shape()));
+        let analytic = emb.param().grad.clone();
+        let eps = 1e-3f32;
+        for idx in 0..emb.param().value.len() {
+            let orig = emb.param().value.data()[idx];
+            emb.param_mut().value.data_mut()[idx] = orig + eps;
+            let plus = emb.forward(&ids).sum();
+            emb.param_mut().value.data_mut()[idx] = orig - eps;
+            let minus = emb.forward(&ids).sum();
+            emb.param_mut().value.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 1e-2);
+        }
+    }
+}

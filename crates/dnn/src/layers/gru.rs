@@ -1,0 +1,296 @@
+//! Gated recurrent unit (the DeepSpeech2 building block).
+
+use super::{Layer, Param};
+use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+
+/// A single-direction GRU over `[batch, time, features]` inputs, returning
+/// the full hidden sequence `[batch, time, hidden]`.
+///
+/// Per timestep (PyTorch gate convention):
+///
+/// ```text
+/// r_t = σ(x_t W_xr + h_{t−1} W_hr + b_r)
+/// z_t = σ(x_t W_xz + h_{t−1} W_hz + b_z)
+/// n_t = tanh(x_t W_xn + r_t ∘ (h_{t−1} W_hn) + b_n)
+/// h_t = (1 − z_t) ∘ n_t + z_t ∘ h_{t−1}
+/// ```
+///
+/// The backward pass is full backpropagation-through-time with explicit
+/// gate Jacobians — the most stateful hand-differentiated layer in
+/// `minidnn`.
+#[derive(Debug)]
+pub struct Gru {
+    wx: [Param; 3], // r, z, n : [in, hidden]
+    wh: [Param; 3], // r, z, n : [hidden, hidden]
+    b: [Param; 3],  // r, z, n : [hidden]
+    input_dim: usize,
+    hidden: usize,
+    cache: Option<GruCache>,
+}
+
+#[derive(Debug)]
+struct GruCache {
+    x: Vec<Tensor>,       // per t: [batch, in]
+    h_prev: Vec<Tensor>,  // per t: [batch, hidden] (h_{t−1})
+    r: Vec<Tensor>,
+    z: Vec<Tensor>,
+    n: Vec<Tensor>,
+    hn_prev: Vec<Tensor>, // per t: h_{t−1} W_hn (pre-gate)
+    batch: usize,
+    time: usize,
+}
+
+impl Gru {
+    /// Create a GRU mapping `input_dim` features to `hidden` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input_dim: usize, hidden: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "GRU dimensions must be positive");
+        let wx = |i: u64| Param::new(Tensor::xavier(&[input_dim, hidden], input_dim, hidden, seed.wrapping_add(i)), "gru.wx");
+        let wh = |i: u64| Param::new(Tensor::xavier(&[hidden, hidden], hidden, hidden, seed.wrapping_add(10 + i)), "gru.wh");
+        Gru {
+            wx: [wx(0), wx(1), wx(2)],
+            wh: [wh(0), wh(1), wh(2)],
+            b: [
+                Param::new(Tensor::zeros(&[hidden]), "gru.br"),
+                Param::new(Tensor::zeros(&[hidden]), "gru.bz"),
+                Param::new(Tensor::zeros(&[hidden]), "gru.bn"),
+            ],
+            input_dim,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+fn sigmoid(t: &Tensor) -> Tensor {
+    t.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "GRU input must be [batch, time, features]");
+        assert_eq!(shape[2], self.input_dim, "GRU feature dim mismatch");
+        let (batch, time) = (shape[0], shape[1]);
+        let mut h = Tensor::zeros(&[batch, self.hidden]);
+        let mut cache = GruCache {
+            x: Vec::with_capacity(time),
+            h_prev: Vec::with_capacity(time),
+            r: Vec::with_capacity(time),
+            z: Vec::with_capacity(time),
+            n: Vec::with_capacity(time),
+            hn_prev: Vec::with_capacity(time),
+            batch,
+            time,
+        };
+        let mut out = Vec::with_capacity(batch * time * self.hidden);
+        // The input is [batch, time, features]; gather per-timestep slices
+        // [batch, features].
+        let xt_slice = |t: usize| -> Tensor {
+            let mut data = Vec::with_capacity(batch * self.input_dim);
+            for b in 0..batch {
+                let base = (b * time + t) * self.input_dim;
+                data.extend_from_slice(&x.data()[base..base + self.input_dim]);
+            }
+            Tensor::from_vec(data, &[batch, self.input_dim]).expect("timestep slice")
+        };
+        let mut per_t_h: Vec<Tensor> = Vec::with_capacity(time);
+        for t in 0..time {
+            let xt = xt_slice(t);
+            let r = sigmoid(&matmul(&xt, &self.wx[0].value).add(&matmul(&h, &self.wh[0].value)).add_row_broadcast(&self.b[0].value));
+            let z = sigmoid(&matmul(&xt, &self.wx[1].value).add(&matmul(&h, &self.wh[1].value)).add_row_broadcast(&self.b[1].value));
+            let hn_prev = matmul(&h, &self.wh[2].value);
+            let n = matmul(&xt, &self.wx[2].value).add(&r.mul(&hn_prev)).add_row_broadcast(&self.b[2].value).map(f32::tanh);
+            let one_minus_z = z.map(|v| 1.0 - v);
+            let h_next = one_minus_z.mul(&n).add(&z.mul(&h));
+            cache.x.push(xt);
+            cache.h_prev.push(h.clone());
+            cache.r.push(r);
+            cache.z.push(z);
+            cache.n.push(n);
+            cache.hn_prev.push(hn_prev);
+            h = h_next;
+            per_t_h.push(h.clone());
+        }
+        for b in 0..batch {
+            for t in 0..time {
+                out.extend_from_slice(&per_t_h[t].data()[b * self.hidden..(b + 1) * self.hidden]);
+            }
+        }
+        self.cache = Some(cache);
+        Tensor::from_vec(out, &[batch, time, self.hidden]).expect("gru output")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward called before forward");
+        let (batch, time) = (cache.batch, cache.time);
+        assert_eq!(grad_out.shape(), &[batch, time, self.hidden], "GRU backward shape mismatch");
+        // Per-timestep upstream gradient slices [batch, hidden].
+        let gt_slice = |t: usize| -> Tensor {
+            let mut data = Vec::with_capacity(batch * self.hidden);
+            for b in 0..batch {
+                let base = (b * time + t) * self.hidden;
+                data.extend_from_slice(&grad_out.data()[base..base + self.hidden]);
+            }
+            Tensor::from_vec(data, &[batch, self.hidden]).expect("grad slice")
+        };
+
+        let mut dx_all = Tensor::zeros(&[batch, time, self.input_dim]);
+        let mut dh_next = Tensor::zeros(&[batch, self.hidden]);
+        for t in (0..time).rev() {
+            // Total gradient reaching h_t: from the output at t plus the
+            // recurrent path from t+1.
+            let dh = gt_slice(t).add(&dh_next);
+            let (r, z, n, h_prev, hn_prev, xt) =
+                (&cache.r[t], &cache.z[t], &cache.n[t], &cache.h_prev[t], &cache.hn_prev[t], &cache.x[t]);
+
+            // h_t = (1−z)∘n + z∘h_{t−1}
+            let dn = dh.mul(&z.map(|v| 1.0 - v));
+            let dz = dh.mul(&h_prev.sub(n));
+            let mut dh_prev = dh.mul(z);
+
+            // n = tanh(pre_n); d pre_n = dn ∘ (1 − n²)
+            let dpre_n = dn.mul(&n.map(|v| 1.0 - v * v));
+            // pre_n = x W_xn + r ∘ (h_prev W_hn) + b_n
+            self.wx[2].grad.add_assign(&matmul_at_b(xt, &dpre_n));
+            self.b[2].grad.add_assign(&dpre_n.sum_rows());
+            let dr = dpre_n.mul(hn_prev);
+            let d_hn_prev = dpre_n.mul(r);
+            self.wh[2].grad.add_assign(&matmul_at_b(h_prev, &d_hn_prev));
+            dh_prev.add_assign(&matmul_a_bt(&d_hn_prev, &self.wh[2].value));
+            let mut dx = matmul_a_bt(&dpre_n, &self.wx[2].value);
+
+            // Gate pre-activations: σ'(pre) = g(1−g).
+            let dpre_r = dr.mul(&r.mul(&r.map(|v| 1.0 - v)));
+            let dpre_z = dz.mul(&z.mul(&z.map(|v| 1.0 - v)));
+            self.wx[0].grad.add_assign(&matmul_at_b(xt, &dpre_r));
+            self.wx[1].grad.add_assign(&matmul_at_b(xt, &dpre_z));
+            self.wh[0].grad.add_assign(&matmul_at_b(h_prev, &dpre_r));
+            self.wh[1].grad.add_assign(&matmul_at_b(h_prev, &dpre_z));
+            self.b[0].grad.add_assign(&dpre_r.sum_rows());
+            self.b[1].grad.add_assign(&dpre_z.sum_rows());
+            dx.add_assign(&matmul_a_bt(&dpre_r, &self.wx[0].value));
+            dx.add_assign(&matmul_a_bt(&dpre_z, &self.wx[1].value));
+            dh_prev.add_assign(&matmul_a_bt(&dpre_r, &self.wh[0].value));
+            dh_prev.add_assign(&matmul_a_bt(&dpre_z, &self.wh[1].value));
+
+            // Scatter dx into [batch, time, features].
+            for b in 0..batch {
+                let base = (b * time + t) * self.input_dim;
+                for c in 0..self.input_dim {
+                    dx_all.data_mut()[base + c] = dx.data()[b * self.input_dim + c];
+                }
+            }
+            dh_next = dh_prev;
+        }
+        dx_all
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut out: Vec<&Param> = self.wx.iter().collect();
+        out.extend(self.wh.iter());
+        out.extend(self.b.iter());
+        out
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut out: Vec<&mut Param> = self.wx.iter_mut().collect();
+        out.extend(self.wh.iter_mut());
+        out.extend(self.b.iter_mut());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_and_state_flow() {
+        let mut gru = Gru::new(5, 7, 91);
+        let x = Tensor::randn(&[3, 4, 5], 92);
+        let y = gru.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 4, 7]);
+        let gx = gru.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn gradient_check_through_time() {
+        let mut gru = Gru::new(3, 4, 93);
+        let x = Tensor::randn(&[2, 3, 3], 94);
+        let y = gru.forward(&x, true);
+        let gy = y.scale(2.0); // loss = Σ y²
+        let gx = gru.backward(&gy);
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = gru.forward(&xp, true).map(|v| v * v).sum();
+            let lm = gru.forward(&xm, true).map(|v| v * v).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 0.05,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_recurrent_weights() {
+        let mut gru = Gru::new(2, 3, 95);
+        let x = Tensor::randn(&[1, 4, 2], 96);
+        let y = gru.forward(&x, true);
+        gru.backward(&y.scale(2.0));
+        let eps = 1e-2f32;
+        for (widx, pick) in [(0usize, 1usize), (1, 4), (2, 7)] {
+            let analytic = gru.wh[widx].grad.data()[pick];
+            let orig = gru.wh[widx].value.data()[pick];
+            gru.wh[widx].value.data_mut()[pick] = orig + eps;
+            let lp = gru.forward(&x, true).map(|v| v * v).sum();
+            gru.wh[widx].value.data_mut()[pick] = orig - eps;
+            let lm = gru.forward(&x, true).map(|v| v * v).sum();
+            gru.wh[widx].value.data_mut()[pick] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 0.05,
+                "wh[{widx}][{pick}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_input_keeps_state_near_zero() {
+        // With zero input and zero initial state, gates see only biases
+        // (zero) → n = 0 → h stays exactly 0.
+        let mut gru = Gru::new(2, 3, 97);
+        let y = gru.forward(&Tensor::zeros(&[1, 5, 2]), true);
+        assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn memory_across_timesteps() {
+        // A strong input at t=0 must influence the output at the last
+        // timestep (state is carried).
+        let mut gru = Gru::new(1, 4, 98);
+        let mut x = Tensor::zeros(&[1, 6, 1]);
+        x.data_mut()[0] = 3.0;
+        let y = gru.forward(&x, true);
+        let last = &y.data()[5 * 4..6 * 4];
+        let baseline = gru.forward(&Tensor::zeros(&[1, 6, 1]), true);
+        let last_baseline = &baseline.data()[5 * 4..6 * 4];
+        let diff: f32 = last.iter().zip(last_baseline).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "t=0 impulse should persist to t=5 (diff {diff})");
+    }
+}

@@ -1,0 +1,151 @@
+//! Fully-connected layer.
+
+use super::{Layer, Param};
+use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+
+/// A fully-connected layer: `y = x W + b`, `x: [batch, in]`,
+/// `W: [in, out]`, `b: [out]`.
+///
+/// # Examples
+///
+/// ```
+/// use minidnn::layers::{Layer, Linear};
+/// use minidnn::tensor::Tensor;
+///
+/// let mut fc = Linear::new(3, 5, 42);
+/// let y = fc.forward(&Tensor::randn(&[2, 3], 1), true);
+/// assert_eq!(y.shape(), &[2, 5]);
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Create a layer with Kaiming-initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "linear dimensions must be positive");
+        Linear {
+            weight: Param::new(Tensor::kaiming(&[in_features, out_features], in_features, seed), "linear.weight"),
+            bias: Param::new(Tensor::zeros(&[out_features]), "linear.bias"),
+            input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.cols(), self.in_features, "linear input width {} != {}", x.cols(), self.in_features);
+        let x2 = x.clone().reshape(&[x.rows(), self.in_features]);
+        let y = matmul(&x2, &self.weight.value).add_row_broadcast(&self.bias.value);
+        self.input = Some(x2);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.input.as_ref().expect("backward called before forward");
+        assert_eq!(grad_out.rows(), x.rows(), "linear backward batch mismatch");
+        assert_eq!(grad_out.cols(), self.out_features, "linear backward width mismatch");
+        let g2 = grad_out.clone().reshape(&[grad_out.rows(), self.out_features]);
+        // dW = xᵀ g, db = Σ_rows g, dx = g Wᵀ
+        self.weight.grad.add_assign(&matmul_at_b(x, &g2));
+        self.bias.grad.add_assign(&g2.sum_rows());
+        matmul_a_bt(&g2, &self.weight.value)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check: perturb each parameter and compare the
+    /// analytic gradient of a scalar loss `sum(y)` to finite differences.
+    #[test]
+    fn gradient_check_weights() {
+        let mut fc = Linear::new(3, 2, 5);
+        let x = Tensor::randn(&[4, 3], 6);
+        let y = fc.forward(&x, true);
+        fc.backward(&Tensor::ones(y.shape()));
+        let analytic = fc.weight.grad.clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..fc.weight.value.len() {
+            let orig = fc.weight.value.data()[idx];
+            fc.weight.value.data_mut()[idx] = orig + eps;
+            let plus = fc.forward(&x, true).sum();
+            fc.weight.value.data_mut()[idx] = orig - eps;
+            let minus = fc.forward(&x, true).sum();
+            fc.weight.value.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 1e-2, "idx {idx}: {numeric} vs {}", analytic.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut fc = Linear::new(3, 2, 7);
+        let x = Tensor::randn(&[2, 3], 8);
+        let y = fc.forward(&x, true);
+        let gx = fc.backward(&Tensor::ones(y.shape()));
+
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let plus = fc.forward(&xp, true).sum();
+            let minus = fc.forward(&xm, true).sum();
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - gx.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_row_count() {
+        // With grad_out = 1, db = batch size for every output.
+        let mut fc = Linear::new(2, 3, 9);
+        let x = Tensor::randn(&[5, 2], 10);
+        let y = fc.forward(&x, true);
+        fc.backward(&Tensor::ones(y.shape()));
+        for &g in fc.bias.grad.data() {
+            assert_eq!(g, 5.0);
+        }
+    }
+
+    #[test]
+    fn higher_rank_input_is_flattened() {
+        let mut fc = Linear::new(6, 2, 11);
+        let x = Tensor::randn(&[4, 2, 3], 12);
+        let y = fc.forward(&x, true);
+        assert_eq!(y.shape(), &[4, 2]);
+    }
+}

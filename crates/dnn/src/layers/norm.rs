@@ -1,0 +1,169 @@
+//! Layer normalization.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Layer normalization over the last dimension of a `[batch, features]`
+/// input, with learnable gain and bias.
+///
+/// `y = gain * (x - mean) / sqrt(var + eps) + bias`, where mean/var are
+/// computed per row.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gain: Param,
+    bias: Param,
+    eps: f32,
+    features: usize,
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug)]
+struct NormCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Create a layer-norm over `features` with `eps = 1e-5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0`.
+    pub fn new(features: usize) -> Self {
+        assert!(features > 0, "layer norm features must be positive");
+        LayerNorm {
+            gain: Param::new(Tensor::ones(&[features]), "layernorm.gain"),
+            bias: Param::new(Tensor::zeros(&[features]), "layernorm.bias"),
+            eps: 1e-5,
+            features,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let n = self.features;
+        assert_eq!(x.cols(), n, "layer norm width {} != {n}", x.cols());
+        let rows = x.rows();
+        let mut normalized = Tensor::zeros(&[rows, n]);
+        let mut inv_std = Vec::with_capacity(rows);
+        let mut out = Tensor::zeros(&[rows, n]);
+        for i in 0..rows {
+            let row = &x.data()[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(is);
+            for j in 0..n {
+                let xn = (row[j] - mean) * is;
+                normalized.data_mut()[i * n + j] = xn;
+                out.data_mut()[i * n + j] = self.gain.value.data()[j] * xn + self.bias.value.data()[j];
+            }
+        }
+        self.cache = Some(NormCache { normalized, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let n = self.features;
+        let rows = grad_out.rows();
+        assert_eq!(grad_out.cols(), n, "layer norm backward width mismatch");
+        let mut dx = Tensor::zeros(&[rows, n]);
+        for i in 0..rows {
+            let g = &grad_out.data()[i * n..(i + 1) * n];
+            let xn = &cache.normalized.data()[i * n..(i + 1) * n];
+            // Accumulate parameter gradients.
+            for j in 0..n {
+                self.gain.grad.data_mut()[j] += g[j] * xn[j];
+                self.bias.grad.data_mut()[j] += g[j];
+            }
+            // dxn_j = g_j * gain_j; the standard layer-norm backward:
+            // dx = (inv_std / n) * (n*dxn - Σdxn - xn * Σ(dxn·xn))
+            let dxn: Vec<f32> = (0..n).map(|j| g[j] * self.gain.value.data()[j]).collect();
+            let sum_dxn: f32 = dxn.iter().sum();
+            let sum_dxn_xn: f32 = dxn.iter().zip(xn).map(|(a, b)| a * b).sum();
+            let is = cache.inv_std[i];
+            for j in 0..n {
+                dx.data_mut()[i * n + j] = is / n as f32 * (n as f32 * dxn[j] - sum_dxn - xn[j] * sum_dxn_xn);
+            }
+        }
+        dx
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.gain, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let mut ln = LayerNorm::new(8);
+        let x = Tensor::randn(&[4, 8], 41).scale(3.0).add_scalar(2.0);
+        let y = ln.forward(&x, true);
+        for i in 0..4 {
+            let row = &y.data()[i * 8..(i + 1) * 8];
+            let mean = row.iter().sum::<f32>() / 8.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut ln = LayerNorm::new(5);
+        // Non-trivial gain/bias so the backward exercises every term.
+        ln.gain.value = Tensor::randn(&[5], 42).add_scalar(1.5);
+        ln.bias.value = Tensor::randn(&[5], 43);
+        let x = Tensor::randn(&[3, 5], 44);
+        // Loss = Σ y² to get a non-uniform upstream gradient.
+        let y = ln.forward(&x, true);
+        let gy = y.scale(2.0);
+        let gx = ln.backward(&gy);
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = ln.forward(&xp, true).map(|v| v * v).sum();
+            let lm = ln.forward(&xm, true).map(|v| v * v).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.data()[idx]).abs() < 0.05, "x[{idx}]: {numeric} vs {}", gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn gradient_check_gain_bias() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::randn(&[2, 4], 45);
+        let y = ln.forward(&x, true);
+        ln.backward(&Tensor::ones(y.shape()));
+        let g_gain = ln.gain.grad.clone();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let orig = ln.gain.value.data()[idx];
+            ln.gain.value.data_mut()[idx] = orig + eps;
+            let plus = ln.forward(&x, true).sum();
+            ln.gain.value.data_mut()[idx] = orig - eps;
+            let minus = ln.forward(&x, true).sum();
+            ln.gain.value.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - g_gain.data()[idx]).abs() < 1e-2);
+        }
+        // Bias gradient with unit upstream gradient is the batch size.
+        for &g in ln.bias.grad.data() {
+            assert_eq!(g, 2.0);
+        }
+    }
+}

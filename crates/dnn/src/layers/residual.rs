@@ -1,0 +1,157 @@
+//! Residual blocks (the ResNet building block).
+
+use super::batchnorm::BatchNorm2d;
+use super::{Conv2d, Layer, Param, Relu};
+use crate::tensor::Tensor;
+
+/// A ResNet basic block:
+/// `out = relu( bn2(conv2( relu(bn1(conv1(x))) )) + shortcut(x) )`,
+/// where the shortcut is the identity when shapes match and a strided 1×1
+/// convolution (+ batch norm) otherwise.
+#[derive(Debug)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: Relu,
+}
+
+impl BasicBlock {
+    /// Create a block mapping `in_channels → out_channels` with the given
+    /// stride on the first convolution. A projection shortcut is inserted
+    /// automatically when the stride or channel count changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_channels: usize, out_channels: usize, stride: usize, seed: u64) -> Self {
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(in_channels, out_channels, 1, stride, 0, seed.wrapping_add(2)),
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv1: Conv2d::new(in_channels, out_channels, 3, stride, 1, seed),
+            bn1: BatchNorm2d::new(out_channels),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(out_channels, out_channels, 3, 1, 1, seed.wrapping_add(1)),
+            bn2: BatchNorm2d::new(out_channels),
+            shortcut,
+            relu_out: Relu::new(),
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.relu1.forward(&self.bn1.forward(&self.conv1.forward(x, train), train), train);
+        let main = self.bn2.forward(&self.conv2.forward(&h, train), train);
+        let skip = match &mut self.shortcut {
+            Some((conv, bn)) => bn.forward(&conv.forward(x, train), train),
+            None => x.clone(),
+        };
+        self.relu_out.forward(&main.add(&skip), train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.relu_out.backward(grad_out);
+        // The sum node fans the gradient into both branches unchanged.
+        let g_main = self.conv1.backward(&self.bn1.backward(&self.relu1.backward(
+            &self.conv2.backward(&self.bn2.backward(&g)),
+        )));
+        let g_skip = match &mut self.shortcut {
+            Some((conv, bn)) => conv.backward(&bn.backward(&g)),
+            None => g,
+        };
+        g_main.add(&g_skip)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv1.parameters());
+        out.extend(self.bn1.parameters());
+        out.extend(self.conv2.parameters());
+        out.extend(self.bn2.parameters());
+        if let Some((conv, bn)) = &self.shortcut {
+            out.extend(conv.parameters());
+            out.extend(bn.parameters());
+        }
+        out
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv1.parameters_mut());
+        out.extend(self.bn1.parameters_mut());
+        out.extend(self.conv2.parameters_mut());
+        out.extend(self.bn2.parameters_mut());
+        if let Some((conv, bn)) = &mut self.shortcut {
+            out.extend(conv.parameters_mut());
+            out.extend(bn.parameters_mut());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut block = BasicBlock::new(8, 8, 1, 41);
+        let x = Tensor::randn(&[2, 8, 6, 6], 42);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 6, 6]);
+        let gx = block.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn projection_block_downsamples() {
+        let mut block = BasicBlock::new(4, 8, 2, 43);
+        let x = Tensor::randn(&[2, 4, 8, 8], 44);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+        let gx = block.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn gradient_check_through_residual_path() {
+        let mut block = BasicBlock::new(2, 2, 1, 45);
+        let x = Tensor::randn(&[1, 2, 4, 4], 46);
+        let y = block.forward(&x, true);
+        let gy = y.scale(2.0); // loss = Σy²
+        let gx = block.backward(&gy);
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 15, 23, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = block.forward(&xp, true).map(|v| v * v).sum();
+            let lm = block.forward(&xm, true).map(|v| v * v).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 0.08,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_count_includes_projection() {
+        let plain = BasicBlock::new(8, 8, 1, 47);
+        let projected = BasicBlock::new(8, 16, 2, 48);
+        assert_eq!(plain.parameters().len(), 8); // 2×(conv w+b) + 2×(bn g+b)
+        assert_eq!(projected.parameters().len(), 12); // + projection conv/bn
+    }
+}

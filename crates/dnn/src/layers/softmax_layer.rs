@@ -1,0 +1,98 @@
+//! Softmax as a standalone layer.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Row-wise softmax layer (for pipelines that need explicit probabilities
+/// rather than the fused [`crate::loss::SoftmaxCrossEntropy`]).
+///
+/// The backward pass applies the softmax Jacobian per row:
+/// `dx = y ∘ (dy − ⟨dy, y⟩)`.
+#[derive(Debug, Default)]
+pub struct Softmax {
+    output: Option<Tensor>,
+}
+
+impl Softmax {
+    /// Create a softmax layer.
+    pub fn new() -> Self {
+        Softmax { output: None }
+    }
+}
+
+impl Layer for Softmax {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let y = x.softmax_rows();
+        self.output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward called before forward");
+        assert_eq!(grad_out.shape(), y.shape(), "softmax backward shape mismatch");
+        let (r, c) = (y.rows(), y.cols());
+        let mut dx = Tensor::zeros(y.shape());
+        for i in 0..r {
+            let yr = &y.data()[i * c..(i + 1) * c];
+            let gr = &grad_out.data()[i * c..(i + 1) * c];
+            let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+            for j in 0..c {
+                dx.data_mut()[i * c + j] = yr[j] * (gr[j] - dot);
+            }
+        }
+        dx
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_produces_distributions() {
+        let mut sm = Softmax::new();
+        let y = sm.forward(&Tensor::randn(&[3, 5], 61), true);
+        for i in 0..3 {
+            let sum: f32 = y.data()[i * 5..(i + 1) * 5].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut sm = Softmax::new();
+        let x = Tensor::randn(&[2, 4], 62);
+        // Loss = Σ w∘y with fixed weights to get a non-trivial gradient.
+        let w = Tensor::randn(&[2, 4], 63);
+        let y = sm.forward(&x, true);
+        let _ = y;
+        let gx = sm.backward(&w);
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = sm.forward(&xp, true).mul(&w).sum();
+            let lm = sm.forward(&xm, true).mul(&w).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.data()[idx]).abs() < 1e-3, "x[{idx}]: {numeric} vs {}", gx.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        // The softmax Jacobian annihilates constants: rows of dx sum to 0.
+        let mut sm = Softmax::new();
+        let _ = sm.forward(&Tensor::randn(&[4, 6], 64), true);
+        let dx = sm.backward(&Tensor::randn(&[4, 6], 65));
+        for i in 0..4 {
+            let s: f32 = dx.data()[i * 6..(i + 1) * 6].iter().sum();
+            assert!(s.abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+}

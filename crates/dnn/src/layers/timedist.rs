@@ -1,0 +1,149 @@
+//! Sequence-axis adaptors: apply a 2-D layer per timestep, and pool over
+//! time.
+
+use super::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Apply an inner layer independently to every timestep of a
+/// `[batch, time, features]` input (Keras' `TimeDistributed`): the inner
+/// layer sees `[batch·time, features]` and its output is reshaped back to
+/// `[batch, time, out]`.
+pub struct TimeDistributed<L: Layer> {
+    inner: L,
+    shape: Option<(usize, usize)>,
+}
+
+impl<L: Layer> std::fmt::Debug for TimeDistributed<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TimeDistributed(..)")
+    }
+}
+
+impl<L: Layer> TimeDistributed<L> {
+    /// Wrap a layer.
+    pub fn new(inner: L) -> Self {
+        TimeDistributed { inner, shape: None }
+    }
+}
+
+impl<L: Layer> Layer for TimeDistributed<L> {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "TimeDistributed input must be [batch, time, features]");
+        let (batch, time, feats) = (shape[0], shape[1], shape[2]);
+        self.shape = Some((batch, time));
+        let flat = x.clone().reshape(&[batch * time, feats]);
+        let y = self.inner.forward(&flat, train);
+        let out = y.cols();
+        y.reshape(&[batch, time, out])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (batch, time) = self.shape.expect("backward called before forward");
+        let out = grad_out.shape()[2];
+        let flat = grad_out.clone().reshape(&[batch * time, out]);
+        let gx = self.inner.backward(&flat);
+        let feats = gx.cols();
+        gx.reshape(&[batch, time, feats])
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        self.inner.parameters()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        self.inner.parameters_mut()
+    }
+}
+
+/// Mean-pool a `[batch, time, features]` sequence over time, producing
+/// `[batch, features]`.
+#[derive(Debug, Default)]
+pub struct MeanOverTime {
+    shape: Option<(usize, usize, usize)>,
+}
+
+impl MeanOverTime {
+    /// Create the pooling layer.
+    pub fn new() -> Self {
+        MeanOverTime { shape: None }
+    }
+}
+
+impl Layer for MeanOverTime {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "MeanOverTime input must be [batch, time, features]");
+        let (batch, time, feats) = (shape[0], shape[1], shape[2]);
+        self.shape = Some((batch, time, feats));
+        let mut out = Tensor::zeros(&[batch, feats]);
+        for b in 0..batch {
+            for t in 0..time {
+                for f in 0..feats {
+                    out.data_mut()[b * feats + f] += x.data()[(b * time + t) * feats + f] / time as f32;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (batch, time, feats) = self.shape.expect("backward called before forward");
+        assert_eq!(grad_out.shape(), &[batch, feats], "MeanOverTime backward shape mismatch");
+        let mut dx = Tensor::zeros(&[batch, time, feats]);
+        for b in 0..batch {
+            for t in 0..time {
+                for f in 0..feats {
+                    dx.data_mut()[(b * time + t) * feats + f] = grad_out.data()[b * feats + f] / time as f32;
+                }
+            }
+        }
+        dx
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+
+    #[test]
+    fn time_distributed_linear_shapes() {
+        let mut td = TimeDistributed::new(Linear::new(5, 3, 1));
+        let x = Tensor::randn(&[2, 4, 5], 2);
+        let y = td.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4, 3]);
+        let gx = td.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn time_distributed_is_per_frame() {
+        // Applying the layer to one frame alone gives the same result as
+        // applying it inside a sequence.
+        let mut td = TimeDistributed::new(Linear::new(3, 2, 3));
+        let x = Tensor::randn(&[1, 3, 3], 4);
+        let y = td.forward(&x, true);
+        let mut solo = TimeDistributed::new(Linear::new(3, 2, 3));
+        let frame1 = Tensor::from_vec(x.data()[3..6].to_vec(), &[1, 1, 3]).unwrap();
+        let y_solo = solo.forward(&frame1, true);
+        for c in 0..2 {
+            assert!((y.at(&[0, 1, c]) - y_solo.at(&[0, 0, c])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_over_time_forward_backward() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 3, 2]).unwrap();
+        let mut pool = MeanOverTime::new();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[3.0, 4.0]); // means of (1,3,5) and (2,4,6)
+        let dx = pool.backward(&Tensor::from_vec(vec![3.0, 6.0], &[1, 2]).unwrap());
+        assert_eq!(dx.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+}

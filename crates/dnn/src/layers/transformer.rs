@@ -1,0 +1,151 @@
+//! A pre-norm transformer encoder block.
+
+use super::{Gelu, Layer, LayerNorm, Linear, MultiHeadSelfAttention, Param};
+use crate::tensor::Tensor;
+
+/// Pre-LayerNorm transformer encoder block over `[batch, seq, dim]`:
+///
+/// ```text
+/// h = x + Attention(LN₁(x))
+/// y = h + W₂·GELU(W₁·LN₂(h))
+/// ```
+///
+/// The residual additions are differentiated explicitly (the gradient fans
+/// into both branches), composing the hand-written backward passes of
+/// [`MultiHeadSelfAttention`], [`LayerNorm`], [`Linear`] and [`Gelu`].
+#[derive(Debug)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadSelfAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    gelu: Gelu,
+    ff2: Linear,
+    dim: usize,
+    shape: Option<(usize, usize)>,
+}
+
+impl TransformerBlock {
+    /// Create a block with an FFN expansion factor of 4 (the BERT shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dim` is a positive multiple of `heads`.
+    pub fn new(dim: usize, heads: usize, seed: u64) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(dim),
+            attn: MultiHeadSelfAttention::new(dim, heads, seed),
+            ln2: LayerNorm::new(dim),
+            ff1: Linear::new(dim, 4 * dim, seed.wrapping_add(10)),
+            gelu: Gelu::new(),
+            ff2: Linear::new(4 * dim, dim, seed.wrapping_add(11)),
+            dim,
+            shape: None,
+        }
+    }
+}
+
+impl Layer for TransformerBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "transformer input must be [batch, seq, dim]");
+        assert_eq!(shape[2], self.dim, "transformer dim mismatch");
+        let (batch, seq) = (shape[0], shape[1]);
+        self.shape = Some((batch, seq));
+
+        // h = x + attn(ln1(x))
+        let flat = x.clone().reshape(&[batch * seq, self.dim]);
+        let normed = self.ln1.forward(&flat, train).reshape(&[batch, seq, self.dim]);
+        let attn_out = self.attn.forward(&normed, train).reshape(&[batch * seq, self.dim]);
+        let h = flat.add(&attn_out);
+
+        // y = h + ff2(gelu(ff1(ln2(h))))
+        let normed2 = self.ln2.forward(&h, train);
+        let ff = self.ff2.forward(&self.gelu.forward(&self.ff1.forward(&normed2, train), train), train);
+        h.add(&ff).reshape(&[batch, seq, self.dim])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (batch, seq) = self.shape.expect("backward called before forward");
+        assert_eq!(grad_out.shape(), &[batch, seq, self.dim], "transformer backward shape mismatch");
+        let dy = grad_out.clone().reshape(&[batch * seq, self.dim]);
+
+        // y = h + ffn(ln2(h)): gradient fans into the skip and the FFN.
+        let d_ff = self.ff1.backward(&self.gelu.backward(&self.ff2.backward(&dy)));
+        let dh = dy.add(&self.ln2.backward(&d_ff));
+
+        // h = x + attn(ln1(x)).
+        let d_attn = self.attn.backward(&dh.clone().reshape(&[batch, seq, self.dim]));
+        let dx = dh.add(&self.ln1.backward(&d_attn.reshape(&[batch * seq, self.dim])));
+        dx.reshape(&[batch, seq, self.dim])
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        out.extend(self.ln1.parameters());
+        out.extend(self.attn.parameters());
+        out.extend(self.ln2.parameters());
+        out.extend(self.ff1.parameters());
+        out.extend(self.ff2.parameters());
+        out
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.ln1.parameters_mut());
+        out.extend(self.attn.parameters_mut());
+        out.extend(self.ln2.parameters_mut());
+        out.extend(self.ff1.parameters_mut());
+        out.extend(self.ff2.parameters_mut());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_roundtrip() {
+        let mut block = TransformerBlock::new(8, 2, 71);
+        let x = Tensor::randn(&[2, 5, 8], 72);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 5, 8]);
+        let gx = block.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn gradient_check_through_both_residuals() {
+        let mut block = TransformerBlock::new(4, 2, 73);
+        let x = Tensor::randn(&[1, 3, 4], 74);
+        let y = block.forward(&x, true);
+        let gy = y.scale(2.0); // loss = Σ y²
+        let gx = block.backward(&gy);
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = block.forward(&xp, true).map(|v| v * v).sum();
+            let lm = block.forward(&xm, true).map(|v| v * v).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 0.08,
+                "x[{idx}]: numeric {numeric} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_inventory() {
+        let block = TransformerBlock::new(8, 2, 75);
+        // 2 LayerNorms (2 params each) + attention (8) + 2 linears (2 each).
+        assert_eq!(block.parameters().len(), 2 * 2 + 8 + 2 * 2);
+        let total: usize = block.parameters().iter().map(|p| p.len()).sum();
+        // 4 attn mats (64) + 4 attn biases (8) + ffn 8×32 + 32 + 32×8 + 8 + LNs 4×8.
+        assert_eq!(total, 4 * 64 + 4 * 8 + 8 * 32 + 32 + 32 * 8 + 8 + 4 * 8);
+    }
+}

@@ -1,0 +1,66 @@
+//! # minidnn — a from-scratch CPU deep-learning library
+//!
+//! `minidnn` provides the numerical substrate of the Cannikin reproduction:
+//! dense tensors, explicitly differentiated neural-network layers, losses,
+//! optimizers and learning-rate scalers, plus synthetic datasets that stand
+//! in for the paper's ImageNet/CIFAR-10/LibriSpeech/SQuAD/MovieLens
+//! workloads at laptop scale.
+//!
+//! The library intentionally mirrors the subset of PyTorch that the paper's
+//! training loops rely on:
+//!
+//! - [`tensor::Tensor`] — contiguous row-major `f32` tensors with the usual
+//!   elementwise, reduction and matrix-multiplication kernels;
+//! - [`layers`] — a [`layers::Layer`] trait with cached-activation
+//!   forward/backward passes (linear, conv2d, embedding, layer norm,
+//!   activations, pooling, dropout, sequential composition);
+//! - [`loss`] — cross-entropy, mean-squared-error and binary cross-entropy
+//!   losses that produce both the scalar loss and the input gradient;
+//! - [`optim`] — SGD with momentum, Adam and AdamW;
+//! - [`lr`] — the AdaScale and square-root learning-rate scalers used in
+//!   Table 5 of the paper;
+//! - [`data`] — deterministic synthetic datasets and batch loaders,
+//!   including uneven (heterogeneity-aware) partitioned loading;
+//! - [`models`] — small reference models (MLP, CNN, NeuMF-style two-tower)
+//!   used by the examples and the functional integration tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use minidnn::layers::{Layer, Linear, Relu, Sequential};
+//! use minidnn::loss::{Loss, SoftmaxCrossEntropy};
+//! use minidnn::optim::{Optimizer, Sgd};
+//! use minidnn::tensor::Tensor;
+//!
+//! let mut model = Sequential::new()
+//!     .push(Linear::new(4, 16, 1))
+//!     .push(Relu::new())
+//!     .push(Linear::new(16, 3, 2));
+//! let mut opt = Sgd::new(0.1).momentum(0.9);
+//! let x = Tensor::randn(&[8, 4], 42);
+//! let y = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+//!
+//! let logits = model.forward(&x, true);
+//! let (loss, grad) = SoftmaxCrossEntropy::default().loss(&logits, &y);
+//! model.backward(&grad);
+//! opt.step(&mut model.parameters_mut());
+//! assert!(loss.is_finite());
+//! ```
+
+// Indexed loops are the clearest way to write the numerical kernels in
+// this crate (explicit strides, symmetric forward/backward passes);
+// clippy's iterator suggestions would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod data;
+pub mod error;
+pub mod layers;
+pub mod loss;
+pub mod lr;
+pub mod models;
+pub mod optim;
+pub mod rng;
+pub mod tensor;
+
+pub use error::DnnError;
+pub use tensor::Tensor;

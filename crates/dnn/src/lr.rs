@@ -1,0 +1,246 @@
+//! Learning-rate scaling rules for adaptive batch sizes.
+//!
+//! When an adaptive system grows the global batch from `B₀` to `B`, the
+//! learning rate must be rescaled or convergence degrades. Table 5 of the
+//! paper uses two rules:
+//!
+//! - **AdaScale** (vision/speech + SGD): the gain form derived from the
+//!   gradient-noise analysis of McCandlish et al., `r(B) = (1 + φ/B₀) /
+//!   (1 + φ/B)` where `φ` is the gradient noise scale. The gain is bounded
+//!   by `1 + φ/B₀` as `B → ∞`, which is what makes AdaScale safe at large
+//!   batch sizes.
+//! - **Square-root** (Adam/AdamW): `r(B) = sqrt(B / B₀)`.
+//!
+//! A linear rule is included for completeness (classic Goyal et al.
+//! scaling).
+
+/// A learning-rate scaling rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrScaler {
+    /// Gradient-noise-aware gain (used with SGD in the paper).
+    AdaScale,
+    /// `sqrt(B/B₀)` (used with Adam/AdamW in the paper).
+    SquareRoot,
+    /// `B/B₀`.
+    Linear,
+}
+
+impl LrScaler {
+    /// Multiplicative gain to apply to the base learning rate when training
+    /// with global batch `batch` instead of `base_batch`.
+    ///
+    /// `noise_scale` is the current gradient noise scale estimate `φ`
+    /// (`B_noise` in the paper); it is only used by [`LrScaler::AdaScale`],
+    /// where a missing estimate falls back to linear scaling capped at 2×
+    /// (the conservative warm-up behaviour of the AdaScale reference
+    /// implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_batch == 0` or `batch == 0`.
+    pub fn gain(&self, base_batch: u64, batch: u64, noise_scale: Option<f64>) -> f64 {
+        assert!(base_batch > 0 && batch > 0, "batch sizes must be positive");
+        let ratio = batch as f64 / base_batch as f64;
+        match self {
+            LrScaler::AdaScale => match noise_scale {
+                Some(phi) if phi > 0.0 => {
+                    (1.0 + phi / base_batch as f64) / (1.0 + phi / batch as f64)
+                }
+                _ => ratio.min(2.0),
+            },
+            LrScaler::SquareRoot => ratio.sqrt(),
+            LrScaler::Linear => ratio,
+        }
+    }
+
+    /// Learning rate for the given batch: `base_lr * gain`.
+    pub fn scaled_lr(&self, base_lr: f64, base_batch: u64, batch: u64, noise_scale: Option<f64>) -> f64 {
+        base_lr * self.gain(base_batch, batch, noise_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_gain_at_base_batch() {
+        for scaler in [LrScaler::AdaScale, LrScaler::SquareRoot, LrScaler::Linear] {
+            assert!((scaler.gain(64, 64, Some(100.0)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adascale_gain_bounded() {
+        let phi = 500.0;
+        let b0 = 64u64;
+        let bound = 1.0 + phi / b0 as f64;
+        let g_small = LrScaler::AdaScale.gain(b0, 128, Some(phi));
+        let g_huge = LrScaler::AdaScale.gain(b0, 1_000_000, Some(phi));
+        assert!(g_small > 1.0 && g_small < bound);
+        assert!(g_huge < bound && g_huge > g_small);
+    }
+
+    #[test]
+    fn adascale_between_one_and_linear() {
+        // The AdaScale gain never exceeds the linear ratio.
+        let phi = 200.0;
+        for b in [128u64, 256, 512, 1024] {
+            let g = LrScaler::AdaScale.gain(64, b, Some(phi));
+            let linear = b as f64 / 64.0;
+            assert!(g >= 1.0 && g <= linear, "gain {g} for batch {b}");
+        }
+    }
+
+    #[test]
+    fn adascale_without_noise_caps_at_two() {
+        assert_eq!(LrScaler::AdaScale.gain(64, 1024, None), 2.0);
+        assert!((LrScaler::AdaScale.gain(64, 96, None) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_and_linear_rules() {
+        assert!((LrScaler::SquareRoot.gain(64, 256, None) - 2.0).abs() < 1e-12);
+        assert!((LrScaler::Linear.gain(64, 256, None) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_lr_multiplies_base() {
+        let lr = LrScaler::SquareRoot.scaled_lr(0.1, 64, 256, None);
+        assert!((lr - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downscaling_reduces_lr() {
+        // Shrinking the batch below B₀ lowers the learning rate for every rule.
+        for scaler in [LrScaler::AdaScale, LrScaler::SquareRoot, LrScaler::Linear] {
+            assert!(scaler.gain(64, 32, Some(100.0)) < 1.0, "{scaler:?}");
+        }
+    }
+}
+
+/// A learning-rate schedule over optimizer steps, composed *on top of* the
+/// batch-size gain of [`LrScaler`]: canonical recipes warm up linearly and
+/// then decay (ResNet: steps; BERT: linear; modern defaults: cosine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Linear warmup over `warmup_steps`, then flat.
+    Warmup {
+        /// Steps to ramp from 0 to the base rate.
+        warmup_steps: u64,
+    },
+    /// Linear warmup, then cosine decay to `floor × base` at `total_steps`.
+    WarmupCosine {
+        /// Steps to ramp from 0 to the base rate.
+        warmup_steps: u64,
+        /// Total steps of the schedule (clamped afterwards).
+        total_steps: u64,
+        /// Final rate as a fraction of the base rate.
+        floor: f64,
+    },
+    /// Multiply the rate by `gamma` every `every` steps (classic ResNet
+    /// staircase).
+    Step {
+        /// Interval between decays.
+        every: u64,
+        /// Multiplicative decay per interval.
+        gamma: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier to apply to the base learning rate at optimizer step
+    /// `step` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero intervals, `floor` outside
+    /// `[0, 1]`, `gamma` outside `(0, 1]`).
+    pub fn factor(&self, step: u64) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup_steps } => {
+                assert!(warmup_steps > 0, "warmup must cover at least one step");
+                ((step + 1) as f64 / warmup_steps as f64).min(1.0)
+            }
+            LrSchedule::WarmupCosine { warmup_steps, total_steps, floor } => {
+                assert!(warmup_steps > 0 && total_steps > warmup_steps, "schedule must be longer than warmup");
+                assert!((0.0..=1.0).contains(&floor), "floor must be in [0, 1]");
+                if step < warmup_steps {
+                    return (step + 1) as f64 / warmup_steps as f64;
+                }
+                let progress = ((step - warmup_steps) as f64 / (total_steps - warmup_steps) as f64).min(1.0);
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())
+            }
+            LrSchedule::Step { every, gamma } => {
+                assert!(every > 0, "decay interval must be positive");
+                assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+                gamma.powi((step / every) as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for step in [0u64, 10, 1_000_000] {
+            assert_eq!(LrSchedule::Constant.factor(step), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_flattens() {
+        let s = LrSchedule::Warmup { warmup_steps: 4 };
+        assert!((s.factor(0) - 0.25).abs() < 1e-12);
+        assert!((s.factor(3) - 1.0).abs() < 1e-12);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn warmup_cosine_hits_floor() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 110, floor: 0.1 };
+        assert!(s.factor(0) < 0.2);
+        assert!((s.factor(9) - 1.0).abs() < 1e-12, "end of warmup");
+        // Midpoint of the cosine: halfway between 1 and floor.
+        let mid = s.factor(60);
+        assert!((mid - 0.55).abs() < 0.01, "midpoint {mid}");
+        assert!((s.factor(110) - 0.1).abs() < 1e-9);
+        assert!((s.factor(10_000) - 0.1).abs() < 1e-9, "clamped after the horizon");
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 5, total_steps: 105, floor: 0.0 };
+        let mut prev = s.factor(5);
+        for step in 6..105 {
+            let f = s.factor(step);
+            assert!(f <= prev + 1e-12, "step {step}: {f} > {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn step_decay_staircase() {
+        let s = LrSchedule::Step { every: 30, gamma: 0.1 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(29), 1.0);
+        assert!((s.factor(30) - 0.1).abs() < 1e-12);
+        assert!((s.factor(89) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composes_with_batch_gain() {
+        // The schedule multiplies the AdaScale-scaled rate.
+        let scaler = LrScaler::AdaScale;
+        let schedule = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let base = scaler.scaled_lr(0.1, 64, 256, Some(500.0));
+        let at_step_25 = base * schedule.factor(25);
+        assert!((at_step_25 - base * 0.25).abs() < 1e-12);
+    }
+}

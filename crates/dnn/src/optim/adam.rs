@@ -1,0 +1,190 @@
+//! Adam and AdamW.
+
+use super::Optimizer;
+use crate::layers::Param;
+use crate::tensor::Tensor;
+
+#[derive(Debug)]
+struct AdamState {
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl AdamState {
+    fn ensure(&mut self, params: &[&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.t = 0;
+        }
+    }
+}
+
+macro_rules! adam_impl {
+    ($(#[$meta:meta])* $name:ident, decoupled = $decoupled:expr) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub struct $name {
+            lr: f64,
+            beta1: f64,
+            beta2: f64,
+            eps: f64,
+            weight_decay: f64,
+            state: AdamState,
+        }
+
+        impl $name {
+            /// Create the optimizer with standard betas `(0.9, 0.999)` and
+            /// `eps = 1e-8`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lr <= 0`.
+            pub fn new(lr: f64) -> Self {
+                assert!(lr > 0.0, "learning rate must be positive");
+                Self {
+                    lr,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    eps: 1e-8,
+                    weight_decay: 0.0,
+                    state: AdamState { m: Vec::new(), v: Vec::new(), t: 0 },
+                }
+            }
+
+            /// Set the exponential-decay coefficients (builder style).
+            #[must_use]
+            pub fn betas(mut self, beta1: f64, beta2: f64) -> Self {
+                assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
+                self.beta1 = beta1;
+                self.beta2 = beta2;
+                self
+            }
+
+            /// Set weight decay (builder style). For `AdamW` the decay is
+            /// decoupled (applied directly to the weights); for `Adam` it is
+            /// added to the gradient.
+            #[must_use]
+            pub fn weight_decay(mut self, wd: f64) -> Self {
+                assert!(wd >= 0.0, "weight decay must be non-negative");
+                self.weight_decay = wd;
+                self
+            }
+        }
+
+        impl Optimizer for $name {
+            fn step(&mut self, params: &mut [&mut Param]) {
+                self.state.ensure(params);
+                self.state.t += 1;
+                let t = self.state.t as i32;
+                let bc1 = 1.0 - self.beta1.powi(t);
+                let bc2 = 1.0 - self.beta2.powi(t);
+                let (b1, b2) = (self.beta1 as f32, self.beta2 as f32);
+                let lr = self.lr as f32;
+                let eps = self.eps as f32;
+                let wd = self.weight_decay as f32;
+                for ((p, m), v) in params.iter_mut().zip(&mut self.state.m).zip(&mut self.state.v) {
+                    for (((mv, vv), &g0), th) in m
+                        .data_mut()
+                        .iter_mut()
+                        .zip(v.data_mut())
+                        .zip(p.grad.data())
+                        .zip(p.value.data_mut())
+                    {
+                        let g = if $decoupled { g0 } else { g0 + wd * *th };
+                        *mv = b1 * *mv + (1.0 - b1) * g;
+                        *vv = b2 * *vv + (1.0 - b2) * g * g;
+                        let mhat = *mv / bc1 as f32;
+                        let vhat = *vv / bc2 as f32;
+                        if $decoupled {
+                            *th -= lr * wd * *th;
+                        }
+                        *th -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            }
+
+            fn learning_rate(&self) -> f64 {
+                self.lr
+            }
+
+            fn set_learning_rate(&mut self, lr: f64) {
+                assert!(lr > 0.0, "learning rate must be positive");
+                self.lr = lr;
+            }
+        }
+    };
+}
+
+adam_impl!(
+    /// Adam with coupled (gradient-space) weight decay — the optimizer used
+    /// by the NeuMF/MovieLens workload in Table 5.
+    Adam,
+    decoupled = false
+);
+
+adam_impl!(
+    /// AdamW with decoupled weight decay — the optimizer used by the
+    /// BERT/SQuAD workload in Table 5.
+    AdamW,
+    decoupled = true
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::test_util::fit_line;
+
+    #[test]
+    fn adam_fits_linear_function() {
+        let mut opt = Adam::new(0.05);
+        let loss = fit_line(&mut opt, 300);
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn adamw_fits_linear_function() {
+        let mut opt = AdamW::new(0.05);
+        let loss = fit_line(&mut opt, 300);
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // With bias correction, the first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        let mut p = Param::new(Tensor::zeros(&[1]), "w");
+        p.grad.data_mut()[0] = 1234.0;
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] + 0.1).abs() < 1e-4, "got {}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn adamw_decay_is_decoupled() {
+        // With zero gradient, AdamW still shrinks weights; Adam does not.
+        let mut pw = Param::new(Tensor::ones(&[1]), "w");
+        let mut opt_w = AdamW::new(0.1).weight_decay(0.5);
+        opt_w.step(&mut [&mut pw]);
+        assert!(pw.value.data()[0] < 1.0);
+
+        let mut pa = Param::new(Tensor::ones(&[1]), "w");
+        let mut opt_a = Adam::new(0.1).weight_decay(0.0);
+        opt_a.step(&mut [&mut pa]);
+        assert_eq!(pa.value.data()[0], 1.0);
+    }
+
+    #[test]
+    fn state_resets_when_param_count_changes() {
+        let mut opt = Adam::new(0.1);
+        let mut p1 = Param::new(Tensor::ones(&[2]), "a");
+        p1.grad.data_mut().fill(1.0);
+        opt.step(&mut [&mut p1]);
+        // Now step with two params; must not panic.
+        let mut p2 = Param::new(Tensor::ones(&[3]), "b");
+        p2.grad.data_mut().fill(1.0);
+        let mut p3 = Param::new(Tensor::ones(&[4]), "c");
+        opt.step(&mut [&mut p2, &mut p3]);
+    }
+}

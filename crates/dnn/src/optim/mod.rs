@@ -1,0 +1,105 @@
+//! Optimizers.
+//!
+//! The three optimizers used in Table 5 of the paper: SGD (with momentum)
+//! for the vision and speech tasks, AdamW for BERT/SQuAD and Adam for
+//! NeuMF/MovieLens. All optimizers key their per-parameter state by
+//! position in the parameter list, which is stable for a fixed model.
+
+mod adam;
+mod sgd;
+
+pub use adam::{Adam, AdamW};
+pub use sgd::Sgd;
+
+use crate::layers::Param;
+
+/// An optimizer updates parameters in place from their accumulated
+/// gradients. Gradients are *not* cleared by `step`; call
+/// [`crate::layers::zero_grads`] explicitly, mirroring PyTorch.
+pub trait Optimizer: Send {
+    /// Apply one update step.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate (after any scaling).
+    fn learning_rate(&self) -> f64;
+
+    /// Replace the learning rate. Used by the LR scalers in [`crate::lr`].
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::layers::{Layer, Linear, Sequential};
+    use crate::loss::{Loss, Mse};
+    use crate::optim::Optimizer;
+    use crate::tensor::Tensor;
+
+    /// Train y = 2x + 1 with a single linear layer; returns the final loss.
+    pub fn fit_line<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut net = Sequential::new().push(Linear::new(1, 1, 7));
+        let x = Tensor::from_vec((0..16).map(|i| i as f32 / 8.0 - 1.0).collect(), &[16, 1]).unwrap();
+        let t = x.map(|v| 2.0 * v + 1.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            crate::layers::zero_grads(&mut net.parameters_mut());
+            let y = net.forward(&x, true);
+            let (loss, grad) = Mse.loss(&y, &t);
+            net.backward(&grad);
+            opt.step(&mut net.parameters_mut());
+            last = loss;
+        }
+        last
+    }
+}
+
+/// Clip the global L2 norm of a parameter set's gradients to `max_norm`
+/// (the DeepSpeech2/BERT recipes' stabilizer). Returns the pre-clip norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f64 = params.iter().map(|p| p.grad.sq_l2()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm {
+        let scale = (max_norm / norm) as f32;
+        for p in params.iter_mut() {
+            p.grad.scale_assign(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod clip_tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn clips_only_when_above_threshold() {
+        let mut a = Param::new(Tensor::zeros(&[3]), "a");
+        a.grad = Tensor::from_slice(&[3.0, 0.0, 4.0]); // norm 5
+        let norm = clip_grad_norm(&mut [&mut a], 10.0);
+        assert_eq!(norm, 5.0);
+        assert_eq!(a.grad.data(), &[3.0, 0.0, 4.0], "below threshold: untouched");
+
+        let norm = clip_grad_norm(&mut [&mut a], 2.5);
+        assert_eq!(norm, 5.0);
+        let clipped: f64 = a.grad.sq_l2().sqrt();
+        assert!((clipped - 2.5).abs() < 1e-6, "clipped norm {clipped}");
+    }
+
+    #[test]
+    fn clips_across_multiple_params() {
+        let mut a = Param::new(Tensor::zeros(&[2]), "a");
+        let mut b = Param::new(Tensor::zeros(&[2]), "b");
+        a.grad = Tensor::from_slice(&[3.0, 0.0]);
+        b.grad = Tensor::from_slice(&[0.0, 4.0]);
+        clip_grad_norm(&mut [&mut a, &mut b], 1.0);
+        let total = (a.grad.sq_l2() + b.grad.sq_l2()).sqrt();
+        assert!((total - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!(a.grad.data()[0] > 0.0 && b.grad.data()[1] > 0.0);
+    }
+}

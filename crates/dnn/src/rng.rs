@@ -1,0 +1,112 @@
+//! Deterministic random-number helpers.
+//!
+//! Everything in the reproduction is seeded so that experiments are exactly
+//! repeatable. `rand`'s `StdRng` is used as the base generator; Gaussian
+//! samples are produced with the Box–Muller transform so that no external
+//! distribution crate is required.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Create a deterministic RNG from a seed.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = minidnn::rng::seeded(7);
+/// let mut b = minidnn::rng::seeded(7);
+/// assert_eq!(minidnn::rng::normal(&mut a), minidnn::rng::normal(&mut b));
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draw a standard-normal sample using the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    (mag * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Draw a normal sample with the given mean and standard deviation.
+pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * f64::from(normal(rng))
+}
+
+/// Draw a log-normal sample whose *median* is 1.0 and whose log-space
+/// standard deviation is `sigma`.
+///
+/// This is the multiplicative noise model used by the cluster simulator for
+/// per-batch timing jitter: the returned factor multiplies a deterministic
+/// duration.
+pub fn lognormal_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    (sigma * f64::from(normal(rng))).exp()
+}
+
+/// Fisher–Yates shuffle of a slice of indices.
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = seeded(99);
+        let mut b = seeded(99);
+        for _ in 0..32 {
+            assert_eq!(normal(&mut a), normal(&mut b));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| f64::from(normal(&mut rng))).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let mut rng = seeded(2);
+        let n = 10_000;
+        let mut above = 0;
+        for _ in 0..n {
+            let f = lognormal_factor(&mut rng, 0.05);
+            assert!(f > 0.0);
+            if f > 1.0 {
+                above += 1;
+            }
+        }
+        // Median 1.0 => roughly half the samples above 1.0.
+        assert!((above as f64 / n as f64 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_identity() {
+        let mut rng = seeded(3);
+        assert_eq!(lognormal_factor(&mut rng, 0.0), 1.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "100 elements should not shuffle to identity");
+    }
+}

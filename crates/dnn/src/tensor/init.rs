@@ -1,0 +1,89 @@
+//! Random tensor initializers.
+
+use super::Tensor;
+use crate::rng;
+
+impl Tensor {
+    /// Standard-normal initialization with a deterministic seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use minidnn::tensor::Tensor;
+    /// let a = Tensor::randn(&[3, 3], 7);
+    /// let b = Tensor::randn(&[3, 3], 7);
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn randn(shape: &[usize], seed: u64) -> Self {
+        let mut r = rng::seeded(seed);
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| rng::normal(&mut r)).collect();
+        Tensor::from_vec(data, shape).expect("randn shape")
+    }
+
+    /// Kaiming/He initialization for a layer with `fan_in` inputs:
+    /// `N(0, sqrt(2 / fan_in))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn kaiming(shape: &[usize], fan_in: usize, seed: u64) -> Self {
+        assert!(fan_in > 0, "fan_in must be positive");
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self::randn(shape, seed).scale(std)
+    }
+
+    /// Xavier/Glorot uniform initialization on `[-limit, limit]` with
+    /// `limit = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in + fan_out == 0`.
+    pub fn xavier(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Self {
+        assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let mut r = rng::seeded(seed);
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| {
+            use rand::RngExt;
+            r.random_range(-limit..limit)
+        }).collect();
+        Tensor::from_vec(data, shape).expect("xavier shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randn_statistics() {
+        let t = Tensor::randn(&[100, 100], 3);
+        let mean = t.mean();
+        let var = t.map(|x| x * x).mean() - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_scales_variance() {
+        let t = Tensor::kaiming(&[64, 256], 256, 5);
+        let var = t.map(|x| x * x).mean();
+        let expected = 2.0 / 256.0;
+        assert!((var / expected - 1.0).abs() < 0.15, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let fan_in = 30;
+        let fan_out = 10;
+        let limit = (6.0f32 / 40.0).sqrt();
+        let t = Tensor::xavier(&[fan_in, fan_out], fan_in, fan_out, 6);
+        assert!(t.data().iter().all(|&x| x >= -limit && x < limit));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Tensor::randn(&[4, 4], 1), Tensor::randn(&[4, 4], 2));
+    }
+}

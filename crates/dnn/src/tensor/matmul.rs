@@ -1,0 +1,154 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants are provided because the linear-layer backward pass needs
+//! products against transposed operands; materializing the transpose first
+//! would double the memory traffic of every backward step.
+
+use super::Tensor;
+
+/// `C = A × B` for 2-D tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if operands are not 2-D or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // i-k-j loop order: the inner loop walks both B and C contiguously.
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
+}
+
+/// `C = Aᵀ × B` for `A: [k, m]`, `B: [k, n]` — used for weight gradients.
+///
+/// # Panics
+///
+/// Panics if operands are not 2-D or the leading dimensions disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at_b lhs");
+    let (k2, n) = dims2(b, "matmul_at_b rhs");
+    assert_eq!(k, k2, "matmul_at_b leading dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_at_b output shape")
+}
+
+/// `C = A × Bᵀ` for `A: [m, k]`, `B: [n, k]` — used for input gradients.
+///
+/// # Panics
+///
+/// Panics if operands are not 2-D or the trailing dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_a_bt lhs");
+    let (n, k2) = dims2(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt trailing dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_a_bt output shape")
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().len(), 2, "{what} must be 2-D, got {:?}", t.shape());
+    (t.shape()[0], t.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let eye = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t(&[1.0, -2.0, 0.5, 3.0, 4.0, -1.0], &[3, 2]);
+        let b = t(&[2.0, 1.0, 0.0, -1.0, 1.5, 2.5], &[3, 2]);
+        // Aᵀ B: [2,3]x[3,2] = [2,2]
+        let via_kernel = matmul_at_b(&a, &b);
+        let via_transpose = matmul(&a.transpose2d(), &b);
+        assert_eq!(via_kernel, via_transpose);
+        // A Bᵀ: [3,2]x[2,3] = [3,3]
+        let via_kernel = matmul_a_bt(&a, &b);
+        let via_transpose = matmul(&a, &b.transpose2d());
+        assert_eq!(via_kernel, via_transpose);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let _ = matmul(&Tensor::ones(&[2, 3]), &Tensor::ones(&[2, 3]));
+    }
+
+    #[test]
+    fn matmul_randomized_associativity_with_vector() {
+        // (A B) x == A (B x) up to fp error.
+        let a = Tensor::randn(&[5, 7], 10);
+        let b = Tensor::randn(&[7, 4], 11);
+        let x = Tensor::randn(&[4, 1], 12);
+        let left = matmul(&matmul(&a, &b), &x);
+        let right = matmul(&a, &matmul(&b, &x));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            assert!((l - r).abs() < 1e-4, "{l} vs {r}");
+        }
+    }
+}

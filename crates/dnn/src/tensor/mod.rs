@@ -1,0 +1,293 @@
+//! Dense row-major `f32` tensors.
+//!
+//! [`Tensor`] is deliberately minimal: contiguous storage, explicit shapes,
+//! and the kernel set required by the layers in [`crate::layers`]. There is
+//! no view/stride machinery — every operation produces contiguous output —
+//! which keeps the backward passes easy to audit.
+
+mod init;
+mod matmul;
+mod ops;
+mod softmax;
+
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+
+use crate::error::DnnError;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use minidnn::tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Avoid dumping megabytes of floats: show shape and a data prefix.
+        let prefix: Vec<f32> = self.data.iter().take(8).copied().collect();
+        let ellipsis = if self.data.len() > 8 { ", …" } else { "" };
+        write!(f, "Tensor{{shape: {:?}, data: {:?}{}}}", self.shape, prefix, ellipsis)
+    }
+}
+
+impl Tensor {
+    /// Create a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Create a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Create a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+    }
+
+    /// Create a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when `data.len()` differs from the
+    /// product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, DnnError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected || shape.is_empty() {
+            return Err(DnnError::ShapeMismatch { shape: shape.to_vec(), len: data.len() });
+        }
+        Ok(Tensor { shape: shape.to_vec(), data })
+    }
+
+    /// Create a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { shape: vec![data.len()], data: data.to_vec() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows when viewed as 2-D (first dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not at least 1-D (cannot happen: construction
+    /// requires one dimension).
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns when viewed as 2-D: the product of all trailing
+    /// dimensions.
+    pub fn cols(&self) -> usize {
+        self.shape[1..].iter().product()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its data buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != shape.len()` or any coordinate is out of
+    /// bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::at`].
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(i < s, "index {i} out of bounds for dim {d} of size {s}");
+            off = off * s + i;
+        }
+        off
+    }
+
+    /// Reinterpret the tensor with a new shape of the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expected, "reshape from {:?} to {shape:?}", self.shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Borrow a contiguous row range `[start, end)` of a 2-D-viewed tensor
+    /// as a new tensor (copies the data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > rows()`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows(), "row slice {start}..{end} of {}", self.rows());
+        let cols = self.cols();
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Tensor { shape, data: self.data[start * cols..end * cols].to_vec() }
+    }
+
+    /// Stack tensors along the first dimension. All inputs must share
+    /// trailing dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or trailing dimensions differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows needs at least one tensor");
+        let tail = &parts[0].shape[1..];
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(&p.shape[1..], tail, "concat_rows trailing shape mismatch");
+            rows += p.shape[0];
+        }
+        let mut shape = vec![rows];
+        shape.extend_from_slice(tail);
+        let mut data = Vec::with_capacity(rows * tail.iter().product::<usize>());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { shape, data }
+    }
+
+    /// Transpose a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2d requires a 2-D tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: vec![c, r], data: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+        assert_eq!(t.at(&[1, 0, 2]), 14.0);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 12);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_shape() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![], &[]).is_err());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let t = Tensor::ones(&[4, 3]).reshape(&[2, 6]);
+        assert_eq!(t.shape(), &[2, 6]);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_wrong_count() {
+        let _ = Tensor::ones(&[4, 3]).reshape(&[5, 2]);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]).unwrap();
+        let a = t.slice_rows(0, 2);
+        let b = t.slice_rows(2, 4);
+        let back = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let tt = t.transpose2d().transpose2d();
+        assert_eq!(tt, t);
+        assert_eq!(t.transpose2d().at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn debug_is_bounded() {
+        let t = Tensor::zeros(&[100, 100]);
+        let s = format!("{t:?}");
+        assert!(s.len() < 200, "debug output should be truncated: {s}");
+        assert!(s.contains("shape"));
+    }
+
+    #[test]
+    fn mutate_through_at_mut() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        *t.at_mut(&[1, 1]) = 5.0;
+        assert_eq!(t.at(&[1, 1]), 5.0);
+        assert_eq!(t.sum(), 5.0);
+    }
+}

@@ -1,0 +1,632 @@
+//! Event-driven simulation of one synchronized data-parallel batch.
+//!
+//! The simulation advances bucket by bucket:
+//!
+//! 1. node `i` finishes `a_i` (load + forward + update), then runs
+//!    backpropagation; gradient bucket `j` (in reduction order) is ready at
+//!    `syncStart_i + j·(1−γ)·P_i/(K−1)`;
+//! 2. bucket `j`'s ring all-reduce starts when *every* node has produced it
+//!    **and** bucket `j−1`'s all-reduce has finished (bucket reductions
+//!    serialize on the ring), and takes `T_comm/K`;
+//! 3. the batch completes when the last bucket's all-reduce finishes.
+//!
+//! With noise disabled this recurrence evaluates *exactly* to the paper's
+//! Eq. (7) — `max_i max(t_compute^i + T_u, syncStart_i + T_comm)` — because
+//! for each node the makespan as a function of the blocking bucket index is
+//! linear and therefore maximized at one of the two endpoints. A unit test
+//! (`event_sim_matches_eq7`) pins this equivalence down.
+
+use crate::cluster::ClusterSpec;
+use crate::job::JobSpec;
+use crate::timing::{comm_times, node_coefficients, ComputeCoeffs};
+use crate::trace::{BatchTrace, EpochTrace, NodeObservation};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ground-truth simulator for one (cluster, job) pair.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulator {
+    cluster: ClusterSpec,
+    job: JobSpec,
+    coeffs: Vec<ComputeCoeffs>,
+    t_comm: f64,
+    t_u: f64,
+    compute_noise: f64,
+    comm_noise: f64,
+    straggler_prob: f64,
+    straggler_factor: f64,
+    rng: StdRng,
+}
+
+impl Simulator {
+    /// Create a simulator with default noise levels (2% compute jitter,
+    /// 5% communication jitter).
+    pub fn new(cluster: ClusterSpec, job: JobSpec, seed: u64) -> Self {
+        let coeffs = cluster.nodes.iter().map(|n| node_coefficients(n, &job)).collect();
+        let (t_comm, _t_o, t_u) = comm_times(&cluster, &job);
+        Simulator {
+            cluster,
+            job,
+            coeffs,
+            t_comm,
+            t_u,
+            compute_noise: 0.02,
+            comm_noise: 0.05,
+            straggler_prob: 0.0,
+            straggler_factor: 3.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Enable transient stragglers (builder style): with probability
+    /// `prob` per node per batch, that node's compute for the batch is
+    /// stretched by `factor` — the GC pauses, page faults and preemption
+    /// spikes of real clusters, which the analyzer must tolerate without
+    /// mistaking them for regime changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= prob < 1` and `factor >= 1`.
+    #[must_use]
+    pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "straggler probability must be in [0, 1)");
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.straggler_prob = prob;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Override the noise levels (builder style). Zero disables noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative.
+    #[must_use]
+    pub fn with_noise(mut self, compute: f64, comm: f64) -> Self {
+        assert!(compute >= 0.0 && comm >= 0.0, "noise levels must be non-negative");
+        self.compute_noise = compute;
+        self.comm_noise = comm;
+        self
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The simulated job.
+    pub fn job(&self) -> &JobSpec {
+        &self.job
+    }
+
+    /// Ground-truth compute coefficients of a node (test/oracle use only —
+    /// Cannikin itself must learn these from traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn true_coefficients(&self, node: usize) -> ComputeCoeffs {
+        self.coeffs[node]
+    }
+
+    /// Ground-truth `(T_comm, T_o, T_u)`.
+    pub fn true_comm(&self) -> (f64, f64, f64) {
+        (self.t_comm, self.t_comm - self.t_u, self.t_u)
+    }
+
+    /// Largest local batch that fits in node `node`'s memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn max_local_batch(&self, node: usize) -> u64 {
+        self.job.max_local_batch(self.cluster.nodes[node].effective_memory_bytes())
+    }
+
+    /// Change a node's contention factor mid-run (the cluster-C
+    /// experiment) and recompute its ground-truth coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the fraction is not in `(0, 1]`.
+    pub fn set_contention(&mut self, node: usize, fraction: f64) {
+        assert!(fraction > 0.0 && fraction <= 1.0, "available fraction must be in (0, 1]");
+        self.cluster.nodes[node].available_fraction = fraction;
+        self.coeffs[node] = node_coefficients(&self.cluster.nodes[node], &self.job);
+    }
+
+    /// Add a node to the cluster mid-run (elastic scheduling, §6):
+    /// ground-truth coefficients and the communication constants (the ring
+    /// grows) are recomputed.
+    pub fn add_node(&mut self, node: crate::cluster::NodeSpec) {
+        self.coeffs.push(node_coefficients(&node, &self.job));
+        self.cluster.nodes.push(node);
+        let (t_comm, _, t_u) = comm_times(&self.cluster, &self.job);
+        self.t_comm = t_comm;
+        self.t_u = t_u;
+    }
+
+    /// Remove a node from the cluster mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or it is the last node.
+    pub fn remove_node(&mut self, node: usize) {
+        assert!(self.cluster.len() > 1, "cannot remove the last node");
+        assert!(node < self.cluster.len(), "node index out of range");
+        self.cluster.nodes.remove(node);
+        self.coeffs.remove(node);
+        let (t_comm, _, t_u) = comm_times(&self.cluster, &self.job);
+        self.t_comm = t_comm;
+        self.t_u = t_u;
+    }
+
+    /// Deterministic (noise-free) batch time for a local-batch assignment —
+    /// the oracle used to grade OptPerf predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local.len()` differs from the node count.
+    pub fn ideal_batch_time(&self, local: &[u64]) -> f64 {
+        assert_eq!(local.len(), self.cluster.len(), "one local batch per node");
+        let gamma = self.job.gamma;
+        let k = self.job.num_buckets;
+        let t_bucket = self.t_comm / k as f64;
+        let ready: Vec<Vec<f64>> = self
+            .coeffs
+            .iter()
+            .zip(local)
+            .map(|(c, &b)| bucket_ready_times(c, b as f64, gamma, k))
+            .collect();
+        let mut end = 0.0f64;
+        for j in 0..k {
+            let all_ready = ready.iter().map(|r| r[j]).fold(0.0, f64::max);
+            end = all_ready.max(end) + t_bucket;
+        }
+        end
+    }
+
+    /// The paper's Eq. (7) closed form on the ground-truth coefficients —
+    /// equal to [`Simulator::ideal_batch_time`]; kept separate so tests can
+    /// assert the equivalence.
+    pub fn eq7_batch_time(&self, local: &[u64]) -> f64 {
+        assert_eq!(local.len(), self.cluster.len(), "one local batch per node");
+        let gamma = self.job.gamma;
+        let mut t = 0.0f64;
+        for (c, &b) in self.coeffs.iter().zip(local) {
+            let b = b as f64;
+            t = t.max(c.compute(b) + self.t_u).max(c.sync_start(b, gamma) + self.t_comm);
+        }
+        t
+    }
+
+    /// Simulate one batch with noise, producing per-node observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local.len()` differs from the node count.
+    pub fn simulate_batch(&mut self, local: &[u64]) -> BatchTrace {
+        assert_eq!(local.len(), self.cluster.len(), "one local batch per node");
+        let gamma = self.job.gamma;
+        let k = self.job.num_buckets;
+        let n = self.cluster.len();
+
+        // Per-node noisy realizations of a_i and P_i, with occasional
+        // transient straggler spikes.
+        let mut a = Vec::with_capacity(n);
+        let mut p = Vec::with_capacity(n);
+        for (c, &b) in self.coeffs.iter().zip(local) {
+            let spike = if self.straggler_prob > 0.0 && uniform(&mut self.rng) < self.straggler_prob {
+                self.straggler_factor
+            } else {
+                1.0
+            };
+            a.push(c.a(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike);
+            p.push(c.p(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike);
+        }
+
+        // Bucket-ready schedule from the noisy realizations.
+        let ready: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let ss = a[i] + gamma * p[i];
+                let spread = (1.0 - gamma) * p[i];
+                (0..k)
+                    .map(|j| if k == 1 { a[i] + p[i] } else { ss + j as f64 * spread / (k as f64 - 1.0) })
+                    .collect()
+            })
+            .collect();
+
+        // Bucket all-reduces serialize; each takes a noisy T_comm/K.
+        let t_bucket_base = self.t_comm / k as f64;
+        let mut bucket_end = Vec::with_capacity(k);
+        let mut end = 0.0f64;
+        let mut total_comm = 0.0;
+        let mut last_bucket_time = 0.0;
+        for j in 0..k {
+            let all_ready = ready.iter().map(|r| r[j]).fold(0.0, f64::max);
+            let t_bucket = t_bucket_base * lognormal(&mut self.rng, self.comm_noise);
+            total_comm += t_bucket;
+            last_bucket_time = t_bucket;
+            end = all_ready.max(end) + t_bucket;
+            bucket_end.push(end);
+        }
+
+        // Per-node observations. γ and T_comm observations carry per-node
+        // measurement noise on top of the physical realization.
+        let observations = (0..n)
+            .map(|i| {
+                let sigma = self.cluster.nodes[i].measurement_sigma;
+                let bias = 1.0 + self.cluster.nodes[i].measurement_bias;
+                NodeObservation {
+                    node: i,
+                    local_batch: local[i],
+                    a_time: a[i],
+                    p_time: p[i],
+                    sync_start: a[i] + gamma * p[i],
+                    gamma_obs: gamma * bias * lognormal(&mut self.rng, sigma),
+                    t_comm_obs: total_comm * bias * lognormal(&mut self.rng, sigma),
+                    t_u_obs: last_bucket_time * bias * lognormal(&mut self.rng, sigma),
+                    rel_variance: sigma * sigma,
+                }
+            })
+            .collect();
+
+        BatchTrace { observations, batch_time: end, bucket_sync_end: bucket_end }
+    }
+
+    /// Simulate one *no-sync* micro-batch (gradient accumulation): every
+    /// node computes forward+backward but skips the all-reduce, so the
+    /// micro-step time is the straggler's compute time alone. The returned
+    /// observations carry `NaN` communication estimates (the measurement
+    /// fuser ignores non-finite observations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local.len()` differs from the node count.
+    pub fn simulate_microbatch(&mut self, local: &[u64]) -> BatchTrace {
+        assert_eq!(local.len(), self.cluster.len(), "one local batch per node");
+        let gamma = self.job.gamma;
+        let n = self.cluster.len();
+        let mut observations = Vec::with_capacity(n);
+        let mut end = 0.0f64;
+        for (i, (c, &b)) in self.coeffs.iter().zip(local).enumerate() {
+            let spike = if self.straggler_prob > 0.0 && uniform(&mut self.rng) < self.straggler_prob {
+                self.straggler_factor
+            } else {
+                1.0
+            };
+            let a = c.a(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike;
+            let p = c.p(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike;
+            end = end.max(a + p);
+            observations.push(NodeObservation {
+                node: i,
+                local_batch: b,
+                a_time: a,
+                p_time: p,
+                sync_start: a + gamma * p,
+                gamma_obs: f64::NAN,
+                t_comm_obs: f64::NAN,
+                t_u_obs: f64::NAN,
+                rel_variance: self.cluster.nodes[i].measurement_sigma.powi(2),
+            });
+        }
+        BatchTrace { observations, batch_time: end, bucket_sync_end: Vec::new() }
+    }
+
+    /// Simulate `steps` consecutive batches (one epoch) under a fixed
+    /// local-batch assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or the assignment length is wrong.
+    pub fn simulate_epoch(&mut self, local: &[u64], steps: usize) -> EpochTrace {
+        assert!(steps > 0, "epoch needs at least one step");
+        let batches: Vec<BatchTrace> = (0..steps).map(|_| self.simulate_batch(local)).collect();
+        let epoch_time = batches.iter().map(|b| b.batch_time).sum();
+        EpochTrace { batches, epoch_time }
+    }
+}
+
+/// Bucket-ready times for one node (noise-free helper shared with
+/// `ideal_batch_time`).
+fn bucket_ready_times(c: &ComputeCoeffs, b: f64, gamma: f64, k: usize) -> Vec<f64> {
+    let ss = c.sync_start(b, gamma);
+    let spread = (1.0 - gamma) * c.p(b);
+    (0..k)
+        .map(|j| if k == 1 { c.compute(b) } else { ss + j as f64 * spread / (k as f64 - 1.0) })
+        .collect()
+}
+
+fn uniform(rng: &mut StdRng) -> f64 {
+    use rand::RngExt;
+    rng.random::<f64>()
+}
+
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    minidnn_normal(rng, sigma).exp()
+}
+
+/// Box–Muller standard normal scaled by sigma (duplicated from `minidnn`
+/// to keep `hetsim` dependency-free of the DNN crate).
+fn minidnn_normal(rng: &mut StdRng, sigma: f64) -> f64 {
+    use rand::RngExt;
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Gpu;
+    use crate::cluster::NodeSpec;
+
+    fn small_cluster() -> ClusterSpec {
+        ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        )
+    }
+
+    #[test]
+    fn event_sim_matches_eq7() {
+        let sim = Simulator::new(small_cluster(), JobSpec::resnet50_imagenet(), 1).with_noise(0.0, 0.0);
+        for local in [[40u64, 20, 12], [1, 1, 1], [100, 100, 100], [64, 32, 16]] {
+            let ev = sim.ideal_batch_time(&local);
+            let eq7 = sim.eq7_batch_time(&local);
+            assert!((ev - eq7).abs() / eq7 < 1e-9, "event {ev} vs eq7 {eq7} for {local:?}");
+        }
+    }
+
+    #[test]
+    fn noise_free_simulation_equals_ideal() {
+        let mut sim = Simulator::new(small_cluster(), JobSpec::resnet18_cifar10(), 2).with_noise(0.0, 0.0);
+        let local = [32u64, 16, 8];
+        let trace = sim.simulate_batch(&local);
+        let ideal = sim.ideal_batch_time(&local);
+        assert!((trace.batch_time - ideal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_batches_take_longer() {
+        let sim = Simulator::new(small_cluster(), JobSpec::resnet50_imagenet(), 3).with_noise(0.0, 0.0);
+        let t1 = sim.ideal_batch_time(&[8, 8, 8]);
+        let t2 = sim.ideal_batch_time(&[64, 64, 64]);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn balancing_toward_fast_node_helps() {
+        // Moving work from the slow RTX6000 to the A100 must beat the even
+        // split for a comm-light job.
+        let sim = Simulator::new(small_cluster(), JobSpec::resnet50_imagenet(), 4).with_noise(0.0, 0.0);
+        let even = sim.ideal_batch_time(&[32, 32, 32]);
+        let skewed = sim.ideal_batch_time(&[56, 24, 16]);
+        assert!(skewed < even, "skewed {skewed} vs even {even}");
+    }
+
+    #[test]
+    fn noisy_batch_times_jitter_around_ideal() {
+        let mut sim = Simulator::new(small_cluster(), JobSpec::resnet18_cifar10(), 5);
+        let local = [32u64, 16, 8];
+        let ideal = sim.ideal_batch_time(&local);
+        let times: Vec<f64> = (0..200).map(|_| sim.simulate_batch(&local).batch_time).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        assert!((mean / ideal - 1.0).abs() < 0.05, "mean {mean} vs ideal {ideal}");
+        let distinct: std::collections::HashSet<u64> = times.iter().map(|t| t.to_bits()).collect();
+        assert!(distinct.len() > 100, "noise should vary batch times");
+    }
+
+    #[test]
+    fn observations_reflect_local_batches() {
+        let mut sim = Simulator::new(small_cluster(), JobSpec::resnet50_imagenet(), 6).with_noise(0.0, 0.0);
+        let trace = sim.simulate_batch(&[48, 24, 12]);
+        assert_eq!(trace.observations.len(), 3);
+        // The A100 with 4x the RTX's batch should still compute faster or
+        // comparable; more importantly a_time must equal the model exactly
+        // with noise off.
+        for (i, obs) in trace.observations.iter().enumerate() {
+            let c = sim.true_coefficients(i);
+            assert!((obs.a_time - c.a(obs.local_batch as f64)).abs() < 1e-12);
+            assert!((obs.p_time - c.p(obs.local_batch as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bucket_ends_are_monotone() {
+        let mut sim = Simulator::new(small_cluster(), JobSpec::bert_squad(), 7);
+        let trace = sim.simulate_batch(&[12, 6, 3]);
+        for pair in trace.bucket_sync_end.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        assert_eq!(trace.bucket_sync_end.len(), sim.job().num_buckets);
+        assert_eq!(*trace.bucket_sync_end.last().unwrap(), trace.batch_time);
+    }
+
+    #[test]
+    fn epoch_time_is_sum_of_batches() {
+        let mut sim = Simulator::new(small_cluster(), JobSpec::resnet18_cifar10(), 8);
+        let epoch = sim.simulate_epoch(&[16, 8, 4], 10);
+        let sum: f64 = epoch.batches.iter().map(|b| b.batch_time).sum();
+        assert!((epoch.epoch_time - sum).abs() < 1e-12);
+        assert_eq!(epoch.batches.len(), 10);
+    }
+
+    #[test]
+    fn contention_change_slows_node() {
+        // Use the compute-heavy BERT job so compute (not the all-reduce)
+        // dominates the batch time.
+        let mut sim = Simulator::new(small_cluster(), JobSpec::bert_squad(), 9).with_noise(0.0, 0.0);
+        let before = sim.ideal_batch_time(&[1, 1, 32]);
+        let k_before = sim.true_coefficients(2).k;
+        sim.set_contention(2, 0.5);
+        let after = sim.ideal_batch_time(&[1, 1, 32]);
+        let k_after = sim.true_coefficients(2).k;
+        assert!(after > before * 1.5, "after {after} vs before {before}");
+        assert!((k_after / k_before - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_bucket_job_has_no_overlap() {
+        let mut job = JobSpec::neumf_movielens();
+        job.num_buckets = 1;
+        let sim = Simulator::new(small_cluster(), job, 10).with_noise(0.0, 0.0);
+        // With one bucket, T = max_i compute + T_comm (no overlap at all).
+        let local = [64u64, 32, 16];
+        let t = sim.ideal_batch_time(&local);
+        let expected = (0..3)
+            .map(|i| sim.true_coefficients(i).compute(local[i] as f64))
+            .fold(0.0f64, f64::max)
+            + sim.true_comm().0;
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_bound_at_tiny_batches() {
+        // At batch 1 per node, a heavy-model job should be communication
+        // bound: T ≈ max syncStart + T_comm.
+        let sim = Simulator::new(small_cluster(), JobSpec::bert_squad(), 11).with_noise(0.0, 0.0);
+        let local = [1u64, 1, 1];
+        let t = sim.ideal_batch_time(&local);
+        let (t_comm, _, _) = sim.true_comm();
+        let max_ss = (0..3)
+            .map(|i| sim.true_coefficients(i).sync_start(1.0, sim.job().gamma))
+            .fold(0.0f64, f64::max);
+        assert!((t - (max_ss + t_comm)).abs() / t < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use crate::catalog::Gpu;
+    use crate::cluster::{ClusterSpec, NodeSpec};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(
+            "t",
+            vec![NodeSpec::new("a", Gpu::A100), NodeSpec::new("b", Gpu::V100)],
+        )
+    }
+
+    #[test]
+    fn stragglers_produce_heavy_tail() {
+        let job = JobSpec::resnet50_imagenet();
+        let mut clean = Simulator::new(cluster(), job.clone(), 5).with_noise(0.0, 0.0);
+        let ideal = clean.simulate_batch(&[32, 32]).batch_time;
+        let mut spiky = Simulator::new(cluster(), job, 5).with_noise(0.0, 0.0).with_stragglers(0.1, 4.0);
+        let times: Vec<f64> = (0..300).map(|_| spiky.simulate_batch(&[32, 32]).batch_time).collect();
+        let spikes = times.iter().filter(|&&t| t > ideal * 1.5).count();
+        // P(at least one of two nodes spikes) ≈ 19% per batch.
+        assert!(spikes > 30 && spikes < 100, "{spikes} spikes in 300 batches");
+        // Non-spiked batches still match the ideal.
+        let clean_batches = times.iter().filter(|&&t| t < ideal * 1.01).count();
+        assert!(clean_batches > 150, "{clean_batches} clean batches");
+    }
+
+    #[test]
+    fn zero_probability_is_identical_to_clean() {
+        let job = JobSpec::resnet18_cifar10();
+        let mut a = Simulator::new(cluster(), job.clone(), 6);
+        let mut b = Simulator::new(cluster(), job, 6).with_stragglers(0.0, 5.0);
+        for _ in 0..20 {
+            assert_eq!(a.simulate_batch(&[16, 16]).batch_time, b.simulate_batch(&[16, 16]).batch_time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod microbatch_tests {
+    use super::*;
+    use crate::catalog::Gpu;
+    use crate::cluster::{ClusterSpec, NodeSpec};
+
+    #[test]
+    fn microbatch_skips_communication() {
+        let cluster = ClusterSpec::new(
+            "t",
+            vec![NodeSpec::new("a", Gpu::A100), NodeSpec::new("b", Gpu::Rtx6000)],
+        );
+        let mut sim = Simulator::new(cluster, JobSpec::resnet50_imagenet(), 3).with_noise(0.0, 0.0);
+        let micro = sim.simulate_microbatch(&[32, 16]);
+        let full = sim.simulate_batch(&[32, 16]);
+        assert!(micro.batch_time < full.batch_time, "no-sync must be faster");
+        // The micro time is exactly the straggler's compute.
+        let expected = (0..2)
+            .map(|i| sim.true_coefficients(i).compute([32.0, 16.0][i]))
+            .fold(0.0f64, f64::max);
+        assert!((micro.batch_time - expected).abs() < 1e-12);
+        assert!(micro.observations.iter().all(|o| o.t_comm_obs.is_nan()));
+        assert!(micro.bucket_sync_end.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod monotonicity_tests {
+    use super::*;
+    use crate::catalog::Gpu;
+    use crate::cluster::{ClusterSpec, NodeSpec};
+
+    fn sim3() -> Simulator {
+        let cluster = ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a", Gpu::A100),
+                NodeSpec::new("b", Gpu::V100),
+                NodeSpec::new("c", Gpu::Rtx6000),
+            ],
+        );
+        Simulator::new(cluster, JobSpec::resnet50_imagenet(), 0).with_noise(0.0, 0.0)
+    }
+
+    /// Growing any single node's local batch can never make the batch
+    /// finish earlier — the physical monotonicity every optimizer result
+    /// implicitly relies on.
+    #[test]
+    fn batch_time_is_monotone_in_every_local_batch() {
+        let sim = sim3();
+        for base in [[10u64, 10, 10], [40, 20, 8], [5, 60, 30]] {
+            let t0 = sim.ideal_batch_time(&base);
+            for node in 0..3 {
+                let mut grown = base;
+                grown[node] += 7;
+                let t1 = sim.ideal_batch_time(&grown);
+                assert!(t1 >= t0 - 1e-15, "growing node {node} of {base:?} shrank time: {t0} -> {t1}");
+            }
+        }
+    }
+
+    /// Noisy batch-time realizations average to (approximately) the ideal:
+    /// the log-normal factors have median 1 and small σ, so the mean bias
+    /// is below a percent.
+    #[test]
+    fn noisy_mean_tracks_ideal_within_bias_bound() {
+        let cluster = sim3().cluster().clone();
+        let mut noisy = Simulator::new(cluster, JobSpec::resnet50_imagenet(), 7);
+        let ideal = sim3().ideal_batch_time(&[32, 16, 8]);
+        let n = 400;
+        let mean: f64 = (0..n).map(|_| noisy.simulate_batch(&[32, 16, 8]).batch_time).sum::<f64>() / n as f64;
+        assert!((mean / ideal - 1.0).abs() < 0.03, "mean {mean} vs ideal {ideal}");
+    }
+
+    /// A faster network can never slow the batch down.
+    #[test]
+    fn faster_network_is_never_worse() {
+        let slow = sim3();
+        let cluster = slow.cluster().clone().with_network(crate::cluster::NetworkSpec::twenty_five_gbe());
+        let fast = Simulator::new(cluster, JobSpec::resnet50_imagenet(), 0).with_noise(0.0, 0.0);
+        for local in [[8u64, 8, 8], [64, 32, 16], [200, 100, 50]] {
+            assert!(fast.ideal_batch_time(&local) <= slow.ideal_batch_time(&local) + 1e-15);
+        }
+    }
+}

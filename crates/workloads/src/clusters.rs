@@ -1,0 +1,112 @@
+//! The evaluation clusters (Tables 3–4 and §6).
+
+use hetsim::catalog::Gpu;
+use hetsim::cluster::{ClusterSpec, NetworkSpec, NodeSpec};
+
+/// Cluster A (Table 3): three workstation GPUs — RTX A5000, RTX A4000 and
+/// Quadro P4000, one per node.
+pub fn cluster_a() -> ClusterSpec {
+    // Measurement quality differs per node (slower hosts time their
+    // kernels less precisely) — this is what makes the §5.3
+    // inverse-variance-weighting ablation meaningful.
+    ClusterSpec::new(
+        "A",
+        vec![
+            // CPUs per Table 3: i9-10980XE, Xeon W-2255, Xeon W-2102.
+            NodeSpec::new("a5000", Gpu::RtxA5000).with_cpu_factor(1.2).with_measurement_sigma(0.01),
+            NodeSpec::new("a4000", Gpu::RtxA4000)
+                .with_cpu_factor(1.0)
+                .with_measurement_sigma(0.05)
+                .with_measurement_bias(0.08),
+            NodeSpec::new("p4000", Gpu::QuadroP4000)
+                .with_cpu_factor(0.5)
+                .with_measurement_sigma(0.30)
+                .with_measurement_bias(0.45),
+        ],
+    )
+    .with_network(NetworkSpec::ten_gbe())
+}
+
+/// Cluster B (Table 4): 16 GPUs across 10 servers — one 4×A100 server,
+/// one 4×V100 server and eight single-RTX6000 servers. Every GPU is a
+/// data-parallel node.
+pub fn cluster_b() -> ClusterSpec {
+    // CPUs per Table 4: Platinum 8380 (A100 server), Gold 6230 (V100
+    // server), Gold 6126 (RTX6000 hosts). Multi-GPU servers share their
+    // CPUs across 4 workers, so per-worker CPU headroom is comparable.
+    let mut nodes = Vec::with_capacity(16);
+    for i in 0..4 {
+        nodes.push(NodeSpec::new(format!("a100-{i}"), Gpu::A100).with_cpu_factor(2.0).with_measurement_sigma(0.01));
+    }
+    for i in 0..4 {
+        nodes.push(NodeSpec::new(format!("v100-{i}"), Gpu::V100).with_cpu_factor(1.2).with_measurement_sigma(0.02));
+    }
+    for i in 0..8 {
+        nodes.push(NodeSpec::new(format!("rtx-{i}"), Gpu::Rtx6000).with_cpu_factor(0.7).with_measurement_sigma(0.08));
+    }
+    ClusterSpec::new("B", nodes).with_network(NetworkSpec::twenty_five_gbe())
+}
+
+/// Cluster C (§6): 16 physically identical RTX6000 nodes on Chameleon
+/// whose heterogeneity comes from GPU *sharing* — a dummy co-located
+/// workload consumes part of each GPU. `fractions[i]` is the share left
+/// for training on node `i`.
+///
+/// # Panics
+///
+/// Panics if `fractions` is empty or any value is outside `(0, 1]`.
+pub fn cluster_c(fractions: &[f64]) -> ClusterSpec {
+    assert!(!fractions.is_empty(), "cluster C needs at least one node");
+    let nodes = fractions
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| NodeSpec::new(format!("rtx-{i}"), Gpu::Rtx6000).with_contention(f))
+        .collect();
+    ClusterSpec::new("C", nodes).with_network(NetworkSpec::ten_gbe())
+}
+
+/// The default cluster-C contention pattern used in the reproduction: 16
+/// nodes whose available fractions step from 100% down to 30%, spanning
+/// the same ~3.4× heterogeneity degree as cluster B.
+pub fn cluster_c_default() -> ClusterSpec {
+    let fractions: Vec<f64> = (0..16).map(|i| 1.0 - 0.7 * (i as f64 / 15.0)).collect();
+    cluster_c(&fractions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_matches_table3() {
+        let c = cluster_a();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.nodes[0].gpu, Gpu::RtxA5000);
+        assert_eq!(c.nodes[2].gpu, Gpu::QuadroP4000);
+        assert!(c.heterogeneity_degree() > 3.0, "A5000 vs P4000 gap");
+    }
+
+    #[test]
+    fn cluster_b_matches_table4() {
+        let c = cluster_b();
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.nodes.iter().filter(|n| n.gpu == Gpu::A100).count(), 4);
+        assert_eq!(c.nodes.iter().filter(|n| n.gpu == Gpu::V100).count(), 4);
+        assert_eq!(c.nodes.iter().filter(|n| n.gpu == Gpu::Rtx6000).count(), 8);
+        assert!((c.heterogeneity_degree() - 3.42).abs() < 0.02);
+    }
+
+    #[test]
+    fn cluster_c_heterogeneity_from_sharing() {
+        let c = cluster_c_default();
+        assert_eq!(c.len(), 16);
+        assert!(c.nodes.iter().all(|n| n.gpu == Gpu::Rtx6000), "same physical GPU everywhere");
+        assert!((c.heterogeneity_degree() - 1.0 / 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "available fraction")]
+    fn cluster_c_rejects_bad_fraction() {
+        let _ = cluster_c(&[1.0, 0.0]);
+    }
+}

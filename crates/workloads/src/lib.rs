@@ -1,0 +1,23 @@
+//! # cannikin-workloads — the evaluation workloads and clusters
+//!
+//! Everything §5.1 of the paper parameterizes:
+//!
+//! - [`clusters`] — cluster A (3 heterogeneous workstation GPUs, Table 3),
+//!   cluster B (16 data-center GPUs across 10 servers, Table 4) and the
+//!   GPU-sharing cluster C of §6;
+//! - [`profiles`] — the five Table 5 workloads with their initial batch
+//!   sizes, optimizers, learning-rate scalers and target metrics, plus the
+//!   two pieces the simulator needs that the paper measured on real
+//!   hardware: a gradient-noise trajectory φ(progress) and a saturating
+//!   metric-vs-progress curve calibrated to the published
+//!   epochs-to-target;
+//! - [`convergence`] — the mapping from statistical progress (effective
+//!   epochs) to the task metric, used to turn epoch records into the
+//!   accuracy-vs-time curves of Figs. 6–8.
+
+pub mod clusters;
+pub mod convergence;
+pub mod profiles;
+
+pub use convergence::SaturatingCurve;
+pub use profiles::{TargetMetric, WorkloadProfile};

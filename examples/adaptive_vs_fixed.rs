@@ -1,0 +1,50 @@
+//! Adaptive batch sizing vs fixed-batch training (the Fig. 6/7 mechanism).
+//!
+//! ```text
+//! cargo run --release --example adaptive_vs_fixed
+//! ```
+//!
+//! Trains the CIFAR-10 profile on cluster B three ways — PyTorch-DDP-style
+//! (fixed batch, even split), Cannikin with the batch pinned to B₀ (split
+//! adaptation only), and full Cannikin (goodput-adaptive batch + OptPerf
+//! splits) — and prints time-to-target for each.
+
+use cannikin::baselines::DdpTrainer;
+use cannikin::core::engine::{CannikinTrainer, LinearNoiseGrowth, TrainerConfig};
+use cannikin::sim::Simulator;
+use cannikin::workloads::{clusters, profiles};
+
+fn main() {
+    let profile = profiles::cifar10_resnet18();
+    let cluster = clusters::cluster_b();
+    let target = profile.target_effective_epochs();
+    println!("{} on cluster {}: target {} = {:.0}%\n", profile.name(), cluster.name, profile.target.name, profile.target.value * 100.0);
+
+    let noise = || Box::new(LinearNoiseGrowth { initial: profile.noise.initial, rate: profile.noise.rate });
+
+    // 1. PyTorch DDP: fixed B = 64, even split.
+    let mut ddp = DdpTrainer::new(Simulator::new(cluster.clone(), profile.job.clone(), 5), noise(), profile.dataset_size, 64, 64);
+    let ddp_records = ddp.train_until(target, 5000);
+    let t_ddp = ddp_records.last().expect("ran").cumulative_time;
+
+    // 2. Cannikin, batch pinned: only the local split adapts.
+    let mut config = TrainerConfig::new(profile.dataset_size, 64, profile.max_batch);
+    config.adaptive_batch = false;
+    let mut fixed = CannikinTrainer::new(Simulator::new(cluster.clone(), profile.job.clone(), 5), noise(), config);
+    let fixed_records = fixed.train_until(target, 5000).expect("run");
+    let t_fixed = fixed_records.last().expect("ran").cumulative_time;
+
+    // 3. Full Cannikin.
+    let config = TrainerConfig::new(profile.dataset_size, 64, profile.max_batch);
+    let mut full = CannikinTrainer::new(Simulator::new(cluster.clone(), profile.job.clone(), 5), noise(), config);
+    let full_records = full.train_until(target, 5000).expect("run");
+    let t_full = full_records.last().expect("ran").cumulative_time;
+    let b_final = full_records.last().expect("ran").total_batch;
+
+    println!("{:<38} {:>12} {:>10}", "system", "time to 94%", "vs DDP");
+    println!("{:<38} {:>11.0}s {:>10}", "PyTorch DDP (fixed B, even split)", t_ddp, "1.00x");
+    println!("{:<38} {:>11.0}s {:>9.2}x", "Cannikin split-only (fixed B)", t_fixed, t_ddp / t_fixed);
+    println!("{:<38} {:>11.0}s {:>9.2}x", "Cannikin full (adaptive B)", t_full, t_ddp / t_full);
+    println!("\nthe split alone buys the straggler factor; the adaptive batch (final B = {b_final})");
+    println!("buys the rest by amortizing communication once the gradient noise allows it");
+}

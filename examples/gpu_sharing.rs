@@ -1,0 +1,50 @@
+//! Sharing-induced heterogeneity (§6, cluster C).
+//!
+//! ```text
+//! cargo run --release --example gpu_sharing
+//! ```
+//!
+//! Sixteen *identical* RTX6000 nodes become heterogeneous because dummy
+//! co-located workloads consume different fractions of each GPU. Cannikin
+//! adapts exactly as it does for hardware heterogeneity — and when the
+//! contention changes mid-run, the continuously learned models re-converge
+//! within a few epochs.
+
+use cannikin::core::engine::{CannikinTrainer, TrainerConfig};
+use cannikin::sim::Simulator;
+use cannikin::workloads::{clusters, profiles};
+
+fn main() {
+    let profile = profiles::cifar10_resnet18();
+    let cluster = clusters::cluster_c_default();
+    println!(
+        "cluster C: {} identical GPUs, sharing-induced heterogeneity degree {:.2}\n",
+        cluster.len(),
+        cluster.heterogeneity_degree()
+    );
+
+    let sim = Simulator::new(cluster, profile.job.clone(), 7);
+    let mut config = TrainerConfig::new(profile.dataset_size, 512, 512);
+    config.adaptive_batch = false; // isolate the split adaptation
+    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+
+    println!("{:>5}  {:>14}  {:>12}  {:>12}", "epoch", "batch time (s)", "b[busiest]", "b[idle]");
+    for epoch in 0..14 {
+        if epoch == 7 {
+            // The dummy workload on the most contended node finishes:
+            // its available fraction jumps from 30% to 100%.
+            trainer.simulator_mut().set_contention(15, 1.0);
+            println!("--- node 15's co-located workload exits (30% -> 100% available) ---");
+        }
+        let r = trainer.run_epoch().expect("epoch");
+        println!(
+            "{:>5}  {:>14.4}  {:>12}  {:>12}",
+            r.epoch,
+            r.mean_batch_time,
+            r.local_batches[15],
+            r.local_batches[0],
+        );
+    }
+    println!("\nafter the contention change the analyzer keeps learning and node 15's");
+    println!("share grows to match its restored speed within a few epochs");
+}

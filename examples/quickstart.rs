@@ -1,0 +1,46 @@
+//! Quickstart: solve OptPerf for the paper's 16-GPU cluster B.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the heterogeneous cluster of Table 4 and the ResNet-50/ImageNet
+//! workload of Table 5, then asks the OptPerf solver (Algorithm 1) for the
+//! optimal local batch split at several total batch sizes, comparing each
+//! against PyTorch DDP's even split.
+
+use cannikin::core::optperf::{even_split, predict_batch_time, OptPerfSolver, SolverInput};
+use cannikin::sim::Simulator;
+use cannikin::workloads::{clusters, profiles};
+
+fn main() {
+    let cluster = clusters::cluster_b();
+    let profile = profiles::imagenet_resnet50();
+    println!("cluster {} — {} nodes, heterogeneity degree {:.2}", cluster.name, cluster.len(), cluster.heterogeneity_degree());
+    println!("workload {} ({} parameters)\n", profile.name(), profile.job.params);
+
+    // Oracle models straight from the simulator's physics. During real
+    // training Cannikin learns these online (see the adaptive example).
+    let input = SolverInput::from_ground_truth(&cluster, &profile.job);
+    let mut solver = OptPerfSolver::new(input.clone());
+    let sim = Simulator::new(cluster.clone(), profile.job.clone(), 0).with_noise(0.0, 0.0);
+
+    println!("{:>7}  {:>12}  {:>12}  {:>8}  {:>22}", "B", "OptPerf (s)", "even (s)", "speedup", "split (a100/v100/rtx)");
+    for total in [128u64, 512, 2048, 8000] {
+        let plan = solver.solve(total).expect("feasible batch size");
+        let even = predict_batch_time(&input, &even_split(total, cluster.len()));
+        // Cross-check the prediction against the event-driven simulator.
+        let simulated = sim.ideal_batch_time(&plan.local_batches);
+        assert!((plan.opt_perf - simulated).abs() / simulated < 1e-9);
+        println!(
+            "{total:>7}  {:>12.4}  {:>12.4}  {:>7.2}x  {:>6}/{:>5}/{:>4}",
+            plan.opt_perf,
+            even,
+            even / plan.opt_perf,
+            plan.local_batches[0],
+            plan.local_batches[4],
+            plan.local_batches[8],
+        );
+    }
+    println!("\nthe A100 nodes receive ~3-4x the RTX6000 share, matching their FP16 speed ratio");
+}

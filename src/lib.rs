@@ -1,0 +1,43 @@
+//! # Cannikin — optimal adaptive distributed DNN training over heterogeneous clusters
+//!
+//! This meta-crate re-exports every crate of the Cannikin reproduction
+//! workspace so that examples and downstream users can depend on a single
+//! package:
+//!
+//! - [`core`] (`cannikin-core`) — the paper's contribution: performance
+//!   models, the *OptPerf* solver (Algorithm 1), the heterogeneity-correct
+//!   gradient-noise-scale estimators (Theorem 4.1), the goodput engine and
+//!   the [`core::engine::CannikinTrainer`] orchestration loop.
+//! - [`dnn`] (`minidnn`) — a from-scratch CPU tensor/autograd library with
+//!   layers, losses, optimizers and learning-rate scalers.
+//! - [`collectives`] (`cannikin-collectives`) — in-process bucketed ring
+//!   all-reduce and the batch-ratio-weighted gradient aggregation of Eq. (9).
+//! - [`sim`] (`hetsim`) — a discrete-event heterogeneous GPU cluster
+//!   simulator with bucket-level compute/communication overlap.
+//! - [`baselines`] (`cannikin-baselines`) — PyTorch-DDP-, AdaptDL-, LB-BSP-
+//!   and HetPipe-style comparison systems.
+//! - [`workloads`] (`cannikin-workloads`) — the paper's five evaluation
+//!   workload profiles and the clusters A/B/C used in the evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cannikin::core::optperf::{OptPerfSolver, SolverInput};
+//! use cannikin::workloads::{clusters, profiles};
+//!
+//! // Build cluster B (the paper's 16-GPU heterogeneous cluster) and the
+//! // ResNet-18/CIFAR-10 workload profile, then ask the solver for the
+//! // optimal local batch split at a total batch size of 512.
+//! let cluster = clusters::cluster_b();
+//! let profile = profiles::cifar10_resnet18();
+//! let input = SolverInput::from_ground_truth(&cluster, &profile.job);
+//! let plan = OptPerfSolver::new(input).solve(512).expect("feasible batch size");
+//! assert_eq!(plan.local_batches.iter().sum::<u64>(), 512);
+//! ```
+
+pub use cannikin_baselines as baselines;
+pub use cannikin_collectives as collectives;
+pub use cannikin_core as core;
+pub use cannikin_workloads as workloads;
+pub use hetsim as sim;
+pub use minidnn as dnn;

@@ -1,0 +1,118 @@
+//! Optimality cross-check: a greedy coordinate-descent reference
+//! optimizer must not beat the analytic OptPerf solver.
+//!
+//! Coordinate descent moves one sample at a time from the node that
+//! currently bounds the batch to the node whose finish time grows least —
+//! a strong local-search baseline that converges to a local optimum of
+//! Eq. (7). Because Eq. (7) is a maximum of convex (linear) functions,
+//! local optima of this neighborhood are global up to integer effects, so
+//! agreement within a couple of samples' slack is a sharp check.
+
+use cannikin::core::optperf::{predict_batch_time, even_split, NodePerf, OptPerfSolver, SolverInput};
+use cannikin::workloads::{clusters, profiles};
+
+/// One-sample coordinate descent on Eq. (7) from an even start.
+fn coordinate_descent(input: &SolverInput, total: u64, max_iters: usize) -> (Vec<u64>, f64) {
+    let n = input.len();
+    let mut split = even_split(total, n);
+    let mut best = predict_batch_time(input, &split);
+    for _ in 0..max_iters {
+        let mut improved = false;
+        // Try every (from, to) single-sample move, take the best.
+        let mut best_move: Option<(usize, usize, f64)> = None;
+        for from in 0..n {
+            if split[from] <= 1 {
+                continue;
+            }
+            for to in 0..n {
+                if to == from {
+                    continue;
+                }
+                split[from] -= 1;
+                split[to] += 1;
+                let t = predict_batch_time(input, &split);
+                split[from] += 1;
+                split[to] -= 1;
+                if t < best && best_move.is_none_or(|(_, _, bt)| t < bt) {
+                    best_move = Some((from, to, t));
+                }
+            }
+        }
+        if let Some((from, to, t)) = best_move {
+            split[from] -= 1;
+            split[to] += 1;
+            best = t;
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+    (split, best)
+}
+
+#[test]
+fn solver_matches_coordinate_descent_on_paper_clusters() {
+    for cluster in [clusters::cluster_a(), clusters::cluster_b()] {
+        for profile in [profiles::imagenet_resnet50(), profiles::cifar10_resnet18()] {
+            let input = SolverInput::from_ground_truth(&cluster, &profile.job);
+            let mut solver = OptPerfSolver::new(input.clone());
+            let n = cluster.len() as u64;
+            // Largest-remainder rounding can land one sample away from the
+            // integer optimum; the admissible slack is one sample on the
+            // steepest node.
+            let slack = input.nodes.iter().map(|nd| nd.compute_slope()).fold(0.0f64, f64::max);
+            for total in [4 * n, 16 * n, 64 * n] {
+                let plan = solver.solve(total).expect("feasible");
+                let (_, reference) = coordinate_descent(&input, total, 4000);
+                assert!(
+                    plan.opt_perf <= reference + slack + 1e-9,
+                    "{}/{} B={total}: solver {} vs coordinate descent {reference}",
+                    cluster.name,
+                    profile.name(),
+                    plan.opt_perf
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_matches_coordinate_descent_on_synthetic_extremes() {
+    // Hand-built pathologies: identical nodes with wildly different fixed
+    // costs, and mixed slow-CPU/fast-GPU nodes.
+    let cases = vec![
+        SolverInput {
+            nodes: vec![
+                NodePerf { q: 0.2e-3, s: 0.1e-3, k: 0.4e-3, m: 0.1e-3, max_batch: None },
+                NodePerf { q: 0.2e-3, s: 20e-3, k: 0.4e-3, m: 10e-3, max_batch: None },
+            ],
+            gamma: 0.1,
+            t_o: 5e-3,
+            t_u: 1e-3,
+        },
+        SolverInput {
+            nodes: vec![
+                NodePerf { q: 1.0e-3, s: 1e-3, k: 0.2e-3, m: 1e-3, max_batch: None }, // slow CPU, fast GPU
+                NodePerf { q: 0.1e-3, s: 1e-3, k: 2.0e-3, m: 1e-3, max_batch: None }, // fast CPU, slow GPU
+                NodePerf { q: 0.5e-3, s: 1e-3, k: 0.5e-3, m: 1e-3, max_batch: None },
+            ],
+            gamma: 0.3,
+            t_o: 8e-3,
+            t_u: 2e-3,
+        },
+    ];
+    for (case, input) in cases.into_iter().enumerate() {
+        let mut solver = OptPerfSolver::new(input.clone());
+        let slack = input.nodes.iter().map(|nd| nd.compute_slope()).fold(0.0f64, f64::max);
+        for total in [30u64, 120, 600] {
+            let plan = solver.solve(total).expect("feasible");
+            let (_, reference) = coordinate_descent(&input, total, 4000);
+            assert!(
+                plan.opt_perf <= reference + slack + 1e-9,
+                "case {case} B={total}: solver {} vs reference {reference}",
+                plan.opt_perf
+            );
+        }
+    }
+}

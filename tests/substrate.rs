@@ -1,0 +1,140 @@
+//! Substrate-level integration: datasets + loaders + collectives +
+//! simulator interacting across crates, plus proptest invariants on the
+//! epoch-sharding loader.
+
+use cannikin::collectives::{bucket_ranges, CommGroup};
+use cannikin::core::engine::HeteroDataLoader;
+use cannikin::dnn::data::gaussian_blob_images;
+use cannikin::sim::Simulator;
+use cannikin::workloads::{clusters, profiles};
+use proptest::prelude::*;
+use std::thread;
+
+#[test]
+fn hetero_loader_covers_dataset_without_overlap_across_nodes() {
+    let mut loader = HeteroDataLoader::new(10_000, 3);
+    let plan = loader.next_epoch(&[96, 32, 16, 8]);
+    let mut seen = vec![false; 10_000];
+    for node in 0..plan.nodes() {
+        for batch in plan.node_batches(node) {
+            for &idx in batch {
+                assert!(!seen[idx], "sample {idx} assigned twice");
+                seen[idx] = true;
+            }
+        }
+    }
+    let covered = seen.iter().filter(|&&s| s).count();
+    assert_eq!(covered, plan.steps() * 152);
+}
+
+#[test]
+fn image_batches_flow_through_cnn_shapes() {
+    use cannikin::dnn::layers::Layer;
+    use cannikin::dnn::models::mini_cnn;
+    let ds = gaussian_blob_images(64, 4, 3, 8, 5);
+    let mut loader = HeteroDataLoader::new(ds.len(), 9);
+    let plan = loader.next_epoch(&[6, 2]);
+    let mut model = mini_cnn(3, 8, 4, 1);
+    let (x, y) = ds.batch(&plan.node_batches(0)[0]);
+    assert_eq!(x.shape(), &[6, 3, 8, 8]);
+    let logits = model.forward(&x, true);
+    assert_eq!(logits.shape(), &[6, 4]);
+    assert_eq!(y.len(), 6);
+}
+
+#[test]
+fn simulator_epoch_and_collectives_compose() {
+    // A smoke test across three crates: plan an epoch for the solver's
+    // split, simulate its timing, and do one real all-reduce sized like
+    // the job's gradient buckets.
+    let profile = profiles::cifar10_resnet18();
+    let cluster = clusters::cluster_a();
+    let mut sim = Simulator::new(cluster, profile.job.clone(), 21);
+    let trace = sim.simulate_batch(&[40, 28, 12]);
+    assert_eq!(trace.observations.len(), 3);
+    assert!(trace.batch_time > 0.0);
+
+    let buckets = profile.job.num_buckets;
+    let comms = CommGroup::create(3);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|comm| {
+            thread::spawn(move || {
+                let mut grad = vec![1.0f32; 1000];
+                let order = comm.all_reduce_buckets(&mut grad, buckets);
+                (grad[0], order.len())
+            })
+        })
+        .collect();
+    for h in handles {
+        let (v, k) = h.join().expect("rank");
+        assert_eq!(v, 3.0);
+        assert_eq!(k, buckets);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn loader_shards_exactly(
+        dataset_len in 100usize..5000,
+        splits in proptest::collection::vec(1u64..40, 2..6),
+        seed in 0u64..1000,
+    ) {
+        let mut loader = HeteroDataLoader::new(dataset_len, seed);
+        let plan = loader.next_epoch(&splits);
+        let total: u64 = splits.iter().sum();
+        prop_assert_eq!(plan.steps(), dataset_len / total as usize);
+        for (node, &b) in splits.iter().enumerate() {
+            for batch in plan.node_batches(node) {
+                prop_assert_eq!(batch.len() as u64, b);
+                prop_assert!(batch.iter().all(|&i| i < dataset_len));
+            }
+        }
+    }
+
+    #[test]
+    fn alternating_plans_preserve_pairing(
+        dataset_len in 200usize..4000,
+        splits in proptest::collection::vec(2u64..30, 2..5),
+    ) {
+        use cannikin::dnn::data::EpochPlan;
+        let odd: Vec<u64> = splits.iter().rev().copied().collect();
+        let plan = EpochPlan::new_alternating(dataset_len, &splits, &odd, 7);
+        prop_assert_eq!(plan.steps() % 2, 0);
+        for (node, (&be, &bo)) in splits.iter().zip(&odd).enumerate() {
+            for (step, batch) in plan.node_batches(node).iter().enumerate() {
+                let expected = if step % 2 == 0 { be } else { bo };
+                prop_assert_eq!(batch.len() as u64, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_partition(total in 0usize..10_000, buckets in 1usize..64) {
+        let ranges = bucket_ranges(total, buckets);
+        let mut cursor = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, total);
+    }
+
+    #[test]
+    fn noise_free_simulation_is_deterministic(
+        b0 in 1u64..200, b1 in 1u64..200, b2 in 1u64..200,
+    ) {
+        let profile = profiles::imagenet_resnet50();
+        let cluster = clusters::cluster_a();
+        let sim1 = Simulator::new(cluster.clone(), profile.job.clone(), 1).with_noise(0.0, 0.0);
+        let sim2 = Simulator::new(cluster, profile.job.clone(), 999).with_noise(0.0, 0.0);
+        let local = [b0, b1, b2];
+        prop_assert_eq!(sim1.ideal_batch_time(&local), sim2.ideal_batch_time(&local));
+        // And Eq. (7) agrees with the event simulation for every split.
+        let ev = sim1.ideal_batch_time(&local);
+        let eq7 = sim1.eq7_batch_time(&local);
+        prop_assert!((ev - eq7).abs() <= eq7 * 1e-12);
+    }
+}
