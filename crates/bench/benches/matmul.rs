@@ -1,0 +1,56 @@
+//! Criterion bench: dense matmul kernels.
+//!
+//! Compares the naive reference kernels against the cache-blocked packed
+//! kernels, single-threaded and with the full configured thread budget,
+//! at the shapes that dominate the minidnn hot path: tiny layers (32²),
+//! mid-size hidden layers (256²), and a tall-skinny im2col-style product
+//! (1024×512×256).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minidnn::tensor::threads::{configured_threads, with_threads};
+use minidnn::tensor::{gemm, reference, Tensor};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random tensor without touching the global rng.
+fn input(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape, seed)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    // (m, k, n) triples: square small, square medium, tall-skinny conv-like.
+    let shapes: &[(usize, usize, usize)] = &[(32, 32, 32), (256, 256, 256), (1024, 512, 256)];
+
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n) in shapes {
+        let a = input(&[m, k], 11);
+        let b = input(&[k, n], 12);
+        let flops = 2 * m as u64 * n as u64 * k as u64;
+        group.throughput(Throughput::Elements(flops));
+        let label = format!("{m}x{k}x{n}");
+
+        group.bench_function(BenchmarkId::new("reference", &label), |bench| {
+            bench.iter(|| black_box(reference::matmul(black_box(&a), black_box(&b))));
+        });
+
+        group.bench_function(BenchmarkId::new("blocked_1thread", &label), |bench| {
+            let mut out = vec![0.0f32; m * n];
+            bench.iter(|| {
+                with_threads(1, || gemm(m, n, k, black_box(a.data()), black_box(b.data()), &mut out, false));
+                black_box(&out);
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("blocked_threads", &label), |bench| {
+            let t = configured_threads();
+            let mut out = vec![0.0f32; m * n];
+            bench.iter(|| {
+                with_threads(t, || gemm(m, n, k, black_box(a.data()), black_box(b.data()), &mut out, false));
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ use crate::perf::{Analyzer, MeasurementAggregation};
 use cannikin_collectives::CommGroup;
 use hetsim::trace::{BatchTrace, NodeObservation};
 use minidnn::data::ClassificationDataset;
-use minidnn::layers::{assign_grads, flatten_grads, flatten_values, zero_grads, Layer, Sequential};
+use minidnn::layers::{assign_grads_from, flatten_grads_into, flatten_values, zero_grads, Layer, Sequential};
 use minidnn::loss::{Loss, SoftmaxCrossEntropy};
 use minidnn::lr::LrScaler;
 use minidnn::optim::{Optimizer, Sgd};
@@ -64,7 +64,7 @@ impl ParallelConfig {
             base_lr: 0.1,
             lr_scaler: LrScaler::AdaScale,
             seed: 17,
-            }
+        }
     }
 }
 
@@ -188,6 +188,10 @@ impl ParallelTrainer {
         let step_totals: Arc<Vec<u64>> =
             Arc::new((0..steps).map(|s| if s % 2 == 0 { even_total } else { odd_total }).collect());
         let lr = self.config.lr_scaler.scaled_lr(self.config.base_lr, self.config.base_batch, total, phi);
+        // Each replica thread gets a proportional share of the kernel
+        // thread budget so n replicas × blocked-matmul fan-out never
+        // oversubscribes the machine.
+        let kernel_threads = minidnn::tensor::threads::replica_share(n);
         let comms = CommGroup::create(n);
         let started = Instant::now();
         let mut handles = Vec::new();
@@ -212,6 +216,7 @@ impl ParallelTrainer {
                     lr,
                     seed,
                     steps,
+                    kernel_threads,
                 })
             }));
         }
@@ -318,6 +323,7 @@ struct RankArgs {
     lr: f64,
     seed: u64,
     steps: usize,
+    kernel_threads: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -368,7 +374,23 @@ fn measurement_variant(split: &[u64]) -> Vec<u64> {
 }
 
 fn run_rank(args: RankArgs) -> RankOutput {
-    let RankArgs { comm, rank, dataset, factory, weights, batches, step_totals, slowdown, lr, seed, steps } = args;
+    let RankArgs {
+        comm,
+        rank,
+        dataset,
+        factory,
+        weights,
+        batches,
+        step_totals,
+        slowdown,
+        lr,
+        seed,
+        steps,
+        kernel_threads,
+    } = args;
+    // Cap this replica's matmul fan-out at its share of the budget for the
+    // lifetime of the rank thread.
+    let _budget = minidnn::tensor::threads::ThreadBudgetGuard::new(kernel_threads);
     let mut model = factory(seed);
     // Start from the shared weights so every replica is identical.
     let flat = minidnn::tensor::Tensor::from_vec(weights, &[model.parameters().iter().map(|p| p.len()).sum()])
@@ -379,6 +401,8 @@ fn run_rank(args: RankArgs) -> RankOutput {
     let mut losses = Vec::with_capacity(steps);
     let mut gns_estimates = Vec::with_capacity(steps);
     let mut measurements = Vec::with_capacity(steps);
+    // Flat gradient buffer reused across every step of the epoch.
+    let mut g: Vec<f32> = Vec::with_capacity(flat.len());
     for (step, batch_indices) in batches.iter().take(steps).enumerate() {
         let ratio = batch_indices.len() as f64 / step_totals[step] as f64;
         // Forward (+ data load) — the `a_i` phase.
@@ -401,7 +425,7 @@ fn run_rank(args: RankArgs) -> RankOutput {
         }
 
         // Gradient exchange: Eq. (9) weighted aggregation + GNS inputs.
-        let mut g = flatten_grads(&model.parameters()).into_data();
+        flatten_grads_into(&model.parameters(), &mut g);
         let local_sq: f64 = g.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         let t2 = Instant::now();
         comm.weighted_all_reduce(&mut g, ratio as f32);
@@ -421,8 +445,7 @@ fn run_rank(args: RankArgs) -> RankOutput {
         }
 
         // Apply the identical global gradient on every replica.
-        let flat_g = minidnn::tensor::Tensor::from_vec(g, &[flat.len()]).expect("gradient vector");
-        assign_grads(&mut model.parameters_mut(), &flat_g);
+        assign_grads_from(&mut model.parameters_mut(), &g);
         opt.step(&mut model.parameters_mut());
 
         losses.push(f64::from(loss));

@@ -1,7 +1,7 @@
 //! Multi-head self-attention (the transformer/BERT building block).
 
 use super::{Layer, Param};
-use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use crate::tensor::{gemm_at_b, matmul, matmul_a_bt, matmul_at_b, Tensor};
 
 /// Multi-head self-attention over `[batch, seq, dim]` inputs.
 ///
@@ -139,8 +139,8 @@ impl Layer for MultiHeadSelfAttention {
         assert_eq!(grad_out.shape(), &[batch, seq, self.dim], "attention backward shape mismatch");
         let g = grad_out.clone().reshape(&[batch * seq, self.dim]);
 
-        // Output projection.
-        self.wo.grad.add_assign(&matmul_at_b(&concat, &g));
+        // Output projection (dWo accumulated in place, no temporary).
+        gemm_at_b(self.dim, self.dim, batch * seq, concat.data(), g.data(), self.wo.grad.data_mut(), true);
         self.bo.grad.add_assign(&g.sum_rows());
         let d_concat = matmul_a_bt(&g, &self.wo.value); // [batch*seq, dim]
 
@@ -185,10 +185,10 @@ impl Layer for MultiHeadSelfAttention {
             }
         }
 
-        // Input projections.
-        self.wq.grad.add_assign(&matmul_at_b(&cache.x, &dq));
-        self.wk.grad.add_assign(&matmul_at_b(&cache.x, &dk));
-        self.wv.grad.add_assign(&matmul_at_b(&cache.x, &dv));
+        // Input projections (accumulated in place).
+        gemm_at_b(self.dim, self.dim, batch * seq, cache.x.data(), dq.data(), self.wq.grad.data_mut(), true);
+        gemm_at_b(self.dim, self.dim, batch * seq, cache.x.data(), dk.data(), self.wk.grad.data_mut(), true);
+        gemm_at_b(self.dim, self.dim, batch * seq, cache.x.data(), dv.data(), self.wv.grad.data_mut(), true);
         self.bq.grad.add_assign(&dq.sum_rows());
         self.bk.grad.add_assign(&dk.sum_rows());
         self.bv.grad.add_assign(&dv.sum_rows());

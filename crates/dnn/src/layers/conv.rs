@@ -1,14 +1,18 @@
 //! 2-D convolution via im2col.
 
 use super::{Layer, Param};
-use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use crate::tensor::{gemm, gemm_a_bt, gemm_at_b, scratch, Tensor};
 
 /// 2-D convolution over `[batch, in_c, h, w]` inputs.
 ///
 /// The implementation lowers each sample to an im2col matrix of shape
 /// `[in_c·kh·kw, oh·ow]` and uses a single matrix multiplication per sample,
 /// which is the standard CPU strategy and keeps the backward pass to two
-/// more matmuls plus a col2im scatter.
+/// more matmuls plus a col2im scatter. The im2col matrices for the whole
+/// batch live in one buffer owned by the layer and reused across steps, and
+/// the backward scratch comes from the thread-local arena — steady-state
+/// training performs no fresh im2col allocations (see
+/// `im2col_buffers_are_reused` below).
 ///
 /// # Examples
 ///
@@ -30,11 +34,13 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cache: Option<ConvCache>,
+    /// Whole-batch im2col matrix `[batch · in_c·k·k · oh·ow]`, grown on
+    /// demand and reused across forward/backward calls.
+    col_buf: Vec<f32>,
 }
 
 #[derive(Debug)]
 struct ConvCache {
-    cols: Vec<Tensor>,
     in_shape: Vec<usize>,
     out_hw: (usize, usize),
 }
@@ -58,6 +64,7 @@ impl Conv2d {
             stride,
             padding,
             cache: None,
+            col_buf: Vec::new(),
         }
     }
 
@@ -72,49 +79,59 @@ impl Conv2d {
         assert!(hp >= self.kernel && wp >= self.kernel, "input {h}x{w} too small for kernel {}", self.kernel);
         ((hp - self.kernel) / self.stride + 1, (wp - self.kernel) / self.stride + 1)
     }
+}
 
-    /// Lower one sample `[in_c, h, w]` to `[in_c·k·k, oh·ow]`.
-    fn im2col(&self, x: &[f32], h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
-        let k = self.kernel;
-        let rows = self.in_channels * k * k;
-        let mut out = vec![0.0f32; rows * oh * ow];
-        for c in 0..self.in_channels {
-            for ki in 0..k {
-                for kj in 0..k {
-                    let row = (c * k + ki) * k + kj;
-                    for oi in 0..oh {
-                        let ii = (oi * self.stride + ki) as isize - self.padding as isize;
-                        for oj in 0..ow {
-                            let jj = (oj * self.stride + kj) as isize - self.padding as isize;
-                            let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
-                                x[(c * h + ii as usize) * w + jj as usize]
-                            } else {
-                                0.0
-                            };
-                            out[row * (oh * ow) + oi * ow + oj] = v;
-                        }
+/// Geometry shared by the im2col lowering and the col2im scatter.
+#[derive(Debug, Clone, Copy)]
+struct ColGeom {
+    in_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+}
+
+/// Lower one sample `[in_c, h, w]` to `[in_c·k·k, oh·ow]`, writing every
+/// element of `out` (so stale buffer contents are fine).
+fn im2col(x: &[f32], g: ColGeom, out: &mut [f32]) {
+    let k = g.kernel;
+    for c in 0..g.in_channels {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oi in 0..g.oh {
+                    let ii = (oi * g.stride + ki) as isize - g.padding as isize;
+                    for oj in 0..g.ow {
+                        let jj = (oj * g.stride + kj) as isize - g.padding as isize;
+                        let v = if ii >= 0 && jj >= 0 && (ii as usize) < g.h && (jj as usize) < g.w {
+                            x[(c * g.h + ii as usize) * g.w + jj as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * (g.oh * g.ow) + oi * g.ow + oj] = v;
                     }
                 }
             }
         }
-        Tensor::from_vec(out, &[rows, oh * ow]).expect("im2col shape")
     }
+}
 
-    /// Scatter a `[in_c·k·k, oh·ow]` gradient back to `[in_c, h, w]`.
-    fn col2im(&self, col: &Tensor, h: usize, w: usize, oh: usize, ow: usize, out: &mut [f32]) {
-        let k = self.kernel;
-        let cd = col.data();
-        for c in 0..self.in_channels {
-            for ki in 0..k {
-                for kj in 0..k {
-                    let row = (c * k + ki) * k + kj;
-                    for oi in 0..oh {
-                        let ii = (oi * self.stride + ki) as isize - self.padding as isize;
-                        for oj in 0..ow {
-                            let jj = (oj * self.stride + kj) as isize - self.padding as isize;
-                            if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
-                                out[(c * h + ii as usize) * w + jj as usize] += cd[row * (oh * ow) + oi * ow + oj];
-                            }
+/// Scatter a `[in_c·k·k, oh·ow]` gradient back to `[in_c, h, w]`.
+fn col2im(col: &[f32], g: ColGeom, out: &mut [f32]) {
+    let k = g.kernel;
+    for c in 0..g.in_channels {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oi in 0..g.oh {
+                    let ii = (oi * g.stride + ki) as isize - g.padding as isize;
+                    for oj in 0..g.ow {
+                        let jj = (oj * g.stride + kj) as isize - g.padding as isize;
+                        if ii >= 0 && jj >= 0 && (ii as usize) < g.h && (jj as usize) < g.w {
+                            out[(c * g.h + ii as usize) * g.w + jj as usize] += col[row * (g.oh * g.ow) + oi * g.ow + oj];
                         }
                     }
                 }
@@ -130,46 +147,73 @@ impl Layer for Conv2d {
         assert_eq!(shape[1], self.in_channels, "conv channel mismatch");
         let (batch, h, w) = (shape[0], shape[2], shape[3]);
         let (oh, ow) = self.output_hw(h, w);
+        let geom = ColGeom {
+            in_channels: self.in_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            h,
+            w,
+            oh,
+            ow,
+        };
+        let rows = self.in_channels * self.kernel * self.kernel;
+        let spatial = oh * ow;
         let sample = self.in_channels * h * w;
-        let mut out = Vec::with_capacity(batch * self.out_channels * oh * ow);
-        let mut cols = Vec::with_capacity(batch);
+        if self.col_buf.len() != batch * rows * spatial {
+            self.col_buf.resize(batch * rows * spatial, 0.0);
+        }
+        let mut out = vec![0.0f32; batch * self.out_channels * spatial];
         for b in 0..batch {
-            let col = self.im2col(&x.data()[b * sample..(b + 1) * sample], h, w, oh, ow);
-            let y = matmul(&self.weight.value, &col); // [out_c, oh*ow]
-            for oc in 0..self.out_channels {
+            let col = &mut self.col_buf[b * rows * spatial..][..rows * spatial];
+            im2col(&x.data()[b * sample..][..sample], geom, col);
+            let y = &mut out[b * self.out_channels * spatial..][..self.out_channels * spatial];
+            gemm(self.out_channels, spatial, rows, self.weight.value.data(), col, y, false);
+            for (oc, y_oc) in y.chunks_exact_mut(spatial).enumerate() {
                 let bias = self.bias.value.data()[oc];
-                for s in 0..oh * ow {
-                    out.push(y.data()[oc * oh * ow + s] + bias);
+                for v in y_oc {
+                    *v += bias;
                 }
             }
-            cols.push(col);
         }
-        self.cache = Some(ConvCache { cols, in_shape: shape.to_vec(), out_hw: (oh, ow) });
+        self.cache = Some(ConvCache { in_shape: shape.to_vec(), out_hw: (oh, ow) });
         Tensor::from_vec(out, &[batch, self.out_channels, oh, ow]).expect("conv output shape")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("backward called before forward");
         let (oh, ow) = cache.out_hw;
-        let batch = cache.in_shape[0];
-        let (h, w) = (cache.in_shape[2], cache.in_shape[3]);
+        let in_shape = cache.in_shape.clone();
+        let batch = in_shape[0];
+        let (h, w) = (in_shape[2], in_shape[3]);
         assert_eq!(grad_out.shape(), &[batch, self.out_channels, oh, ow], "conv backward shape mismatch");
+        let geom = ColGeom {
+            in_channels: self.in_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            h,
+            w,
+            oh,
+            ow,
+        };
+        let rows = self.in_channels * self.kernel * self.kernel;
         let spatial = oh * ow;
-        let mut dx = vec![0.0f32; batch * self.in_channels * h * w];
         let sample = self.in_channels * h * w;
+        let mut dx = vec![0.0f32; batch * sample];
+        let mut dcol = scratch::take(rows * spatial);
         for b in 0..batch {
-            let g = Tensor::from_vec(
-                grad_out.data()[b * self.out_channels * spatial..(b + 1) * self.out_channels * spatial].to_vec(),
-                &[self.out_channels, spatial],
-            )
-            .expect("conv grad slice");
+            let g = &grad_out.data()[b * self.out_channels * spatial..][..self.out_channels * spatial];
+            let col = &self.col_buf[b * rows * spatial..][..rows * spatial];
             // dW += g colᵀ ; db += Σ_spatial g ; dcol = Wᵀ g
-            self.weight.grad.add_assign(&matmul_a_bt(&g, &cache.cols[b]));
-            self.bias.grad.add_assign(&g.sum_rows_of_2d_transposed());
-            let dcol = matmul_at_b(&self.weight.value, &g);
-            self.col2im(&dcol, h, w, oh, ow, &mut dx[b * sample..(b + 1) * sample]);
+            gemm_a_bt(self.out_channels, rows, spatial, g, col, self.weight.grad.data_mut(), true);
+            for (oc, g_oc) in g.chunks_exact(spatial).enumerate() {
+                self.bias.grad.data_mut()[oc] += g_oc.iter().sum::<f32>();
+            }
+            gemm_at_b(rows, spatial, self.out_channels, self.weight.value.data(), g, dcol.as_mut_slice(), false);
+            col2im(dcol.as_slice(), geom, &mut dx[b * sample..][..sample]);
         }
-        Tensor::from_vec(dx, &cache.in_shape).expect("conv dx shape")
+        Tensor::from_vec(dx, &in_shape).expect("conv dx shape")
     }
 
     fn parameters(&self) -> Vec<&Param> {
@@ -178,19 +222,6 @@ impl Layer for Conv2d {
 
     fn parameters_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
-    }
-}
-
-impl Tensor {
-    /// Sum a 2-D tensor over its *columns*, producing `[rows]` — i.e. the
-    /// per-output-channel bias gradient for a `[out_c, spatial]` gradient.
-    fn sum_rows_of_2d_transposed(&self) -> Tensor {
-        let (r, c) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; r];
-        for i in 0..r {
-            out[i] = self.data()[i * c..(i + 1) * c].iter().sum();
-        }
-        Tensor::from_vec(out, &[r]).expect("column sum shape")
     }
 }
 
@@ -269,5 +300,41 @@ mod tests {
         for &g in conv.bias.grad.data() {
             assert_eq!(g, (3 * 4 * 4) as f32);
         }
+    }
+
+    #[test]
+    fn im2col_buffers_are_reused() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, 23);
+        let x = Tensor::randn(&[2, 2, 6, 6], 24);
+        // Warm-up step: the col buffer and any arena scratch get sized.
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.shape()));
+        let col_ptr = conv.col_buf.as_ptr();
+        let col_len = conv.col_buf.len();
+        let arena_before = crate::tensor::scratch::stats();
+        for _ in 0..3 {
+            let y = conv.forward(&x, true);
+            conv.backward(&Tensor::ones(y.shape()));
+        }
+        assert_eq!(conv.col_buf.as_ptr(), col_ptr, "im2col batch buffer must be reused, not reallocated");
+        assert_eq!(conv.col_buf.len(), col_len);
+        let arena_after = crate::tensor::scratch::stats();
+        assert_eq!(
+            arena_after.allocations, arena_before.allocations,
+            "warm conv steps must not allocate new scratch buffers"
+        );
+        assert!(arena_after.reuses > arena_before.reuses, "backward scratch should come from the arena");
+    }
+
+    #[test]
+    fn reused_buffers_do_not_change_results() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 29);
+        let x = Tensor::randn(&[1, 1, 5, 5], 30);
+        let y1 = conv.forward(&x, true);
+        // A different-shaped pass in between must not corrupt later results.
+        let big = Tensor::randn(&[2, 1, 8, 8], 31);
+        let _ = conv.forward(&big, true);
+        let y2 = conv.forward(&x, true);
+        assert_eq!(y1, y2);
     }
 }

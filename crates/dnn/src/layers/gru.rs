@@ -1,7 +1,7 @@
 //! Gated recurrent unit (the DeepSpeech2 building block).
 
 use super::{Layer, Param};
-use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use crate::tensor::{gemm_a_bt, gemm_at_b, matmul, matmul_a_bt, Tensor};
 
 /// A single-direction GRU over `[batch, time, features]` inputs, returning
 /// the full hidden sequence `[batch, time, hidden]`.
@@ -159,28 +159,30 @@ impl Layer for Gru {
 
             // n = tanh(pre_n); d pre_n = dn ∘ (1 − n²)
             let dpre_n = dn.mul(&n.map(|v| 1.0 - v * v));
-            // pre_n = x W_xn + r ∘ (h_prev W_hn) + b_n
-            self.wx[2].grad.add_assign(&matmul_at_b(xt, &dpre_n));
+            // pre_n = x W_xn + r ∘ (h_prev W_hn) + b_n. All parameter
+            // gradients accumulate in place through the slice kernels — no
+            // per-timestep temporaries.
+            gemm_at_b(self.input_dim, self.hidden, batch, xt.data(), dpre_n.data(), self.wx[2].grad.data_mut(), true);
             self.b[2].grad.add_assign(&dpre_n.sum_rows());
             let dr = dpre_n.mul(hn_prev);
             let d_hn_prev = dpre_n.mul(r);
-            self.wh[2].grad.add_assign(&matmul_at_b(h_prev, &d_hn_prev));
-            dh_prev.add_assign(&matmul_a_bt(&d_hn_prev, &self.wh[2].value));
+            gemm_at_b(self.hidden, self.hidden, batch, h_prev.data(), d_hn_prev.data(), self.wh[2].grad.data_mut(), true);
+            gemm_a_bt(batch, self.hidden, self.hidden, d_hn_prev.data(), self.wh[2].value.data(), dh_prev.data_mut(), true);
             let mut dx = matmul_a_bt(&dpre_n, &self.wx[2].value);
 
             // Gate pre-activations: σ'(pre) = g(1−g).
             let dpre_r = dr.mul(&r.mul(&r.map(|v| 1.0 - v)));
             let dpre_z = dz.mul(&z.mul(&z.map(|v| 1.0 - v)));
-            self.wx[0].grad.add_assign(&matmul_at_b(xt, &dpre_r));
-            self.wx[1].grad.add_assign(&matmul_at_b(xt, &dpre_z));
-            self.wh[0].grad.add_assign(&matmul_at_b(h_prev, &dpre_r));
-            self.wh[1].grad.add_assign(&matmul_at_b(h_prev, &dpre_z));
+            gemm_at_b(self.input_dim, self.hidden, batch, xt.data(), dpre_r.data(), self.wx[0].grad.data_mut(), true);
+            gemm_at_b(self.input_dim, self.hidden, batch, xt.data(), dpre_z.data(), self.wx[1].grad.data_mut(), true);
+            gemm_at_b(self.hidden, self.hidden, batch, h_prev.data(), dpre_r.data(), self.wh[0].grad.data_mut(), true);
+            gemm_at_b(self.hidden, self.hidden, batch, h_prev.data(), dpre_z.data(), self.wh[1].grad.data_mut(), true);
             self.b[0].grad.add_assign(&dpre_r.sum_rows());
             self.b[1].grad.add_assign(&dpre_z.sum_rows());
-            dx.add_assign(&matmul_a_bt(&dpre_r, &self.wx[0].value));
-            dx.add_assign(&matmul_a_bt(&dpre_z, &self.wx[1].value));
-            dh_prev.add_assign(&matmul_a_bt(&dpre_r, &self.wh[0].value));
-            dh_prev.add_assign(&matmul_a_bt(&dpre_z, &self.wh[1].value));
+            gemm_a_bt(batch, self.input_dim, self.hidden, dpre_r.data(), self.wx[0].value.data(), dx.data_mut(), true);
+            gemm_a_bt(batch, self.input_dim, self.hidden, dpre_z.data(), self.wx[1].value.data(), dx.data_mut(), true);
+            gemm_a_bt(batch, self.hidden, self.hidden, dpre_r.data(), self.wh[0].value.data(), dh_prev.data_mut(), true);
+            gemm_a_bt(batch, self.hidden, self.hidden, dpre_z.data(), self.wh[1].value.data(), dh_prev.data_mut(), true);
 
             // Scatter dx into [batch, time, features].
             for b in 0..batch {

@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use super::{Layer, Param};
-use crate::tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use crate::tensor::{gemm_at_b, matmul, matmul_a_bt, Tensor};
 
 /// A fully-connected layer: `y = x W + b`, `x: [batch, in]`,
 /// `W: [in, out]`, `b: [out]`.
@@ -67,8 +67,9 @@ impl Layer for Linear {
         assert_eq!(grad_out.rows(), x.rows(), "linear backward batch mismatch");
         assert_eq!(grad_out.cols(), self.out_features, "linear backward width mismatch");
         let g2 = grad_out.clone().reshape(&[grad_out.rows(), self.out_features]);
-        // dW = xᵀ g, db = Σ_rows g, dx = g Wᵀ
-        self.weight.grad.add_assign(&matmul_at_b(x, &g2));
+        // dW += xᵀ g (accumulated in place, no temporary), db = Σ_rows g,
+        // dx = g Wᵀ
+        gemm_at_b(self.in_features, self.out_features, x.rows(), x.data(), g2.data(), self.weight.grad.data_mut(), true);
         self.bias.grad.add_assign(&g2.sum_rows());
         matmul_a_bt(&g2, &self.weight.value)
     }

@@ -202,20 +202,41 @@ pub fn flatten_grads(params: &[&Param]) -> Tensor {
     Tensor::from_vec(out, &[total.max(1)]).unwrap_or_else(|_| Tensor::zeros(&[1]))
 }
 
+/// Flatten all parameter gradients into a caller-owned buffer, reusing its
+/// capacity — the allocation-free form of [`flatten_grads`] for training
+/// loops that flatten every step.
+pub fn flatten_grads_into(params: &[&Param], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(params.iter().map(|p| p.len()).sum());
+    for p in params {
+        out.extend_from_slice(p.grad.data());
+    }
+}
+
+/// Scatter a flat gradient slice back into the parameter gradients — the
+/// slice-input form of [`assign_grads`].
+///
+/// # Panics
+///
+/// Panics if `flat.len()` differs from the total parameter count.
+pub fn assign_grads_from(params: &mut [&mut Param], flat: &[f32]) {
+    let total: usize = params.iter().map(|p| p.len()).sum();
+    assert_eq!(flat.len(), total, "flat gradient length mismatch");
+    let mut off = 0;
+    for p in params.iter_mut() {
+        let n = p.len();
+        p.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+}
+
 /// Scatter a flat gradient vector back into the parameter gradients.
 ///
 /// # Panics
 ///
 /// Panics if `flat.len()` differs from the total parameter count.
 pub fn assign_grads(params: &mut [&mut Param], flat: &Tensor) {
-    let total: usize = params.iter().map(|p| p.len()).sum();
-    assert_eq!(flat.len(), total, "flat gradient length mismatch");
-    let mut off = 0;
-    for p in params.iter_mut() {
-        let n = p.len();
-        p.grad.data_mut().copy_from_slice(&flat.data()[off..off + n]);
-        off += n;
-    }
+    assign_grads_from(params, flat.data());
 }
 
 /// Flatten all parameter values into a single 1-D tensor.
@@ -281,6 +302,23 @@ mod tests {
         assign_grads(&mut net.parameters_mut(), &doubled);
         let back = flatten_grads(&net.parameters());
         assert_eq!(back, doubled);
+    }
+
+    #[test]
+    fn flatten_into_reuses_buffer_and_matches() {
+        let mut net = Sequential::new().push(Linear::new(3, 2, 1));
+        let x = Tensor::randn(&[2, 3], 9);
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::ones(y.shape()));
+        let mut buf = Vec::new();
+        flatten_grads_into(&net.parameters(), &mut buf);
+        assert_eq!(buf, flatten_grads(&net.parameters()).into_data());
+        let ptr = buf.as_ptr();
+        flatten_grads_into(&net.parameters(), &mut buf);
+        assert_eq!(buf.as_ptr(), ptr, "repeated flatten must reuse the buffer");
+        let doubled: Vec<f32> = buf.iter().map(|v| v * 2.0).collect();
+        assign_grads_from(&mut net.parameters_mut(), &doubled);
+        assert_eq!(flatten_grads(&net.parameters()).into_data(), doubled);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Cache-blocked, packed, multithreaded GEMM core.
+//!
+//! One strided kernel serves all three public matmul variants: the
+//! transposed forms differ only in the row/column strides used when
+//! *packing*, never in the compute loops. The structure is the classic
+//! three-level tiling (BLIS-style, scaled down for `f32` on commodity
+//! CPUs):
+//!
+//! - The output is computed in `MC × NC` blocks over `KC`-deep slices of
+//!   the inner dimension, sized so one packed A block (`MC·KC` floats) and
+//!   one packed B block (`KC·NC` floats) stay cache-resident.
+//! - Within a block, panels of `MR` A-rows and `NR` B-columns are packed
+//!   contiguously and zero-padded to full panel width, so the microkernel
+//!   is branch-free and every load is unit-stride.
+//! - The microkernel keeps an `MR × NR` accumulator in registers and walks
+//!   the packed panels with a fully unrolled multiply-add body, which LLVM
+//!   autovectorizes (NR = 16 is four SSE lanes — the best-measured shape
+//!   on the baseline `x86-64` target, where wider rows beat taller tiles).
+//!
+//! Packing buffers come from the thread-local [`scratch`] arena, so a
+//! steady-state training loop performs no kernel allocations at all.
+//!
+//! Threading partitions output *rows* into `MR`-aligned chunks, one per
+//! thread from the current budget (see [`threads`]): row partitions touch
+//! disjoint C regions and disjoint A rows, and only share read-only B. Each
+//! worker packs its own panels from its own arena, so no synchronization
+//! beyond the final join is needed.
+
+use crate::tensor::{scratch, threads};
+
+/// Microkernel rows (panel height of packed A).
+pub(super) const MR: usize = 2;
+/// Microkernel columns (panel width of packed B).
+pub(super) const NR: usize = 16;
+/// Rows of A packed per cache block (multiple of `MR`).
+const MC: usize = 64;
+/// Depth of the packed inner-dimension slice.
+const KC: usize = 256;
+/// Columns of B packed per cache block (multiple of `NR`).
+const NC: usize = 256;
+
+/// Below this `m·n·k`, skip blocking/packing entirely.
+const SMALL_WORK: usize = 16 * 1024;
+/// Minimum `m·n·k` assigned to each additional thread.
+const WORK_PER_THREAD: usize = 128 * 1024;
+
+/// `C += A · B` where `A` is a logical `[m, k]` matrix with element
+/// `(i, p)` at `a[i·a_rs + p·a_cs]`, `B` a logical `[k, n]` matrix with
+/// element `(p, j)` at `b[p·b_rs + j·b_cs]`, and `C` row-major `[m, n]`.
+///
+/// Callers zero `C` first for a plain product. Dispatches between the
+/// small-matrix path, the serial blocked path, and row-partitioned
+/// threading based on problem size and the current thread budget.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn gemm_strided(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), m * n, "gemm output length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let work = m * n * k;
+    if work <= SMALL_WORK {
+        gemm_small(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
+        return;
+    }
+    let t = threads::effective_threads().min(m.div_ceil(MR)).min(1 + work / WORK_PER_THREAD);
+    if t <= 1 {
+        gemm_serial(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
+        return;
+    }
+    // MR-aligned row chunks, one per thread; the spawning thread takes the
+    // last chunk itself so it works instead of blocking on the join.
+    let chunk_rows = m.div_ceil(t).next_multiple_of(MR);
+    std::thread::scope(|s| {
+        let mut rest = c;
+        let mut i0 = 0;
+        while i0 < m {
+            let rows = chunk_rows.min(m - i0);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_chunk = &a[i0 * a_rs..];
+            if i0 + rows >= m {
+                gemm_serial(rows, n, k, a_chunk, a_rs, a_cs, b, b_rs, b_cs, chunk);
+            } else {
+                s.spawn(move || gemm_serial(rows, n, k, a_chunk, a_rs, a_cs, b, b_rs, b_cs, chunk));
+            }
+            i0 += rows;
+        }
+    });
+}
+
+/// Strided triple loop for matrices too small to amortize packing.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+) {
+    if b_cs == 1 {
+        // B rows are contiguous: axpy over C rows (i-k-j order).
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a[i * a_rs + p * a_cs];
+                let brow = &b[p * b_rs..p * b_rs + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    } else {
+        // B columns are contiguous (the A·Bᵀ case): dot products.
+        for i in 0..m {
+            for j in 0..n {
+                let bcol = &b[j * b_cs..j * b_cs + k * b_rs];
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * a_rs + p * a_cs] * bcol[p * b_rs];
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+/// Single-threaded blocked GEMM over the full `[m, n]` output.
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+) {
+    let mut apack = scratch::take(MC * KC);
+    let mut bpack = scratch::take(KC * NC);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(bpack.as_mut_slice(), b, b_rs, b_cs, pc, jc, kc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(apack.as_mut_slice(), a, a_rs, a_cs, ic, pc, kc, mc);
+                macro_kernel(apack.as_slice(), bpack.as_slice(), c, ic, jc, mc, nc, kc, n);
+            }
+        }
+    }
+}
+
+/// Pack an `mc × kc` block of A into `MR`-row panels, k-major within each
+/// panel (`dst[panel][kk·MR + r]`), zero-padding the final partial panel.
+fn pack_a(dst: &mut [f32], a: &[f32], a_rs: usize, a_cs: usize, ic: usize, pc: usize, kc: usize, mc: usize) {
+    let mut d = 0;
+    for p in 0..mc.div_ceil(MR) {
+        let rbase = ic + p * MR;
+        let rmax = MR.min(mc - p * MR);
+        for kk in 0..kc {
+            let col = (pc + kk) * a_cs;
+            for r in 0..MR {
+                dst[d] = if r < rmax { a[(rbase + r) * a_rs + col] } else { 0.0 };
+                d += 1;
+            }
+        }
+    }
+}
+
+/// Pack a `kc × nc` block of B into `NR`-column panels, k-major within each
+/// panel (`dst[panel][kk·NR + j]`), zero-padding the final partial panel.
+fn pack_b(dst: &mut [f32], b: &[f32], b_rs: usize, b_cs: usize, pc: usize, jc: usize, kc: usize, nc: usize) {
+    let mut d = 0;
+    for q in 0..nc.div_ceil(NR) {
+        let cbase = jc + q * NR;
+        let cmax = NR.min(nc - q * NR);
+        for kk in 0..kc {
+            let row = (pc + kk) * b_rs;
+            for j in 0..NR {
+                dst[d] = if j < cmax { b[row + (cbase + j) * b_cs] } else { 0.0 };
+                d += 1;
+            }
+        }
+    }
+}
+
+/// Multiply one packed A block against one packed B block, accumulating
+/// into the `mc × nc` region of C at `(ic, jc)`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ldc: usize,
+) {
+    for q in 0..nc.div_ceil(NR) {
+        let bp = &bpack[q * kc * NR..][..kc * NR];
+        let nr = NR.min(nc - q * NR);
+        for p in 0..mc.div_ceil(MR) {
+            let ap = &apack[p * kc * MR..][..kc * MR];
+            let mr = MR.min(mc - p * MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kc, ap, bp, &mut acc);
+            let c0 = (ic + p * MR) * ldc + jc + q * NR;
+            for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                let crow = &mut c[c0 + r * ldc..][..nr];
+                for (cv, av) in crow.iter_mut().zip(acc_row) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+/// Register-tile inner loop: `acc[r][j] += ap[kk·MR + r] · bp[kk·NR + j]`
+/// over `kk < kc`. Panels are zero-padded, so there are no edge branches;
+/// the fixed-size body unrolls and autovectorizes.
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (af, bf) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let bv: [f32; NR] = bf.try_into().expect("NR-wide panel fragment");
+        for r in 0..MR {
+            let ar = af[r];
+            for (av, &b) in acc[r].iter_mut().zip(&bv) {
+                *av += ar * b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (no dependency on `rand` here).
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn assert_close(got: &[f32], want: &[f32]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "[{i}]: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        for &(m, n, k) in
+            &[(1, 1, 1), (1, 5, 3), (7, 1, 9), (4, 8, 256), (33, 17, 5), (65, 66, 129), (3, 300, 2), (130, 70, 70)]
+        {
+            let a = fill(m as u64 * 31 + n as u64, m * k);
+            let b = fill(k as u64 * 17 + 1, k * n);
+            let mut c = vec![0.0f32; m * n];
+            gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c);
+            assert_close(&c, &naive(m, n, k, &a, &b));
+        }
+    }
+
+    #[test]
+    fn strided_transpose_views_match() {
+        let (m, n, k) = (37, 29, 41);
+        let a = fill(3, m * k);
+        let b = fill(4, k * n);
+        let want = naive(m, n, k, &a, &b);
+        // Aᵀ stored as [k, m]: element (i, p) at at[p*m + i].
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_strided(m, n, k, &at, 1, m, &b, n, 1, &mut c);
+        assert_close(&c, &want);
+        // Bᵀ stored as [n, k]: element (p, j) at bt[j*k + p].
+        let mut bt = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        c.fill(0.0);
+        gemm_strided(m, n, k, &a, k, 1, &bt, 1, k, &mut c);
+        assert_close(&c, &want);
+    }
+
+    #[test]
+    fn threaded_path_matches_serial() {
+        let (m, n, k) = (150, 60, 80);
+        let a = fill(7, m * k);
+        let b = fill(8, k * n);
+        let mut serial = vec![0.0f32; m * n];
+        threads::with_threads(1, || gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut serial));
+        let mut par = vec![0.0f32; m * n];
+        threads::with_threads(4, || gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut par));
+        assert_close(&par, &serial);
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let (m, n, k) = (5, 6, 7);
+        let a = fill(9, m * k);
+        let b = fill(10, k * n);
+        let mut c = vec![2.0f32; m * n];
+        gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c);
+        let want: Vec<f32> = naive(m, n, k, &a, &b).iter().map(|v| v + 2.0).collect();
+        assert_close(&c, &want);
+    }
+
+    #[test]
+    fn steady_state_runs_without_new_allocations() {
+        let (m, n, k) = (64, 64, 64);
+        let a = fill(11, m * k);
+        let b = fill(12, k * n);
+        let mut c = vec![0.0f32; m * n];
+        gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c);
+        let before = scratch::stats();
+        for _ in 0..3 {
+            c.fill(0.0);
+            gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c);
+        }
+        let after = scratch::stats();
+        assert_eq!(after.allocations, before.allocations, "warm gemm must reuse its packing buffers");
+        assert!(after.reuses > before.reuses);
+    }
+}

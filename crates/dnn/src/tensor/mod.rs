@@ -8,9 +8,11 @@
 mod init;
 mod matmul;
 mod ops;
+pub mod scratch;
 mod softmax;
+pub mod threads;
 
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use matmul::{gemm, gemm_a_bt, gemm_at_b, matmul, matmul_a_bt, matmul_at_b, reference};
 
 use crate::error::DnnError;
 

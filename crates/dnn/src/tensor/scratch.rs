@@ -1,0 +1,202 @@
+//! Thread-local scratch-buffer arena.
+//!
+//! The hot training loop needs many short-lived `f32` buffers per step:
+//! packed matmul panels, im2col columns, gradient staging. Allocating them
+//! fresh every call puts the allocator on the critical path of every batch,
+//! so this arena keeps a small per-thread free list of `Vec<f32>` buffers
+//! and hands them back out on the next [`take`]. Buffers return to the
+//! arena automatically when the [`ScratchBuf`] guard drops — including from
+//! a different thread than the one that took them (they simply join that
+//! thread's free list).
+//!
+//! [`take`] returns buffers with **unspecified contents** (typically stale
+//! data from their previous use): callers must either fully overwrite the
+//! buffer or use [`take_zeroed`]. This is what makes reuse genuinely free —
+//! no memset is paid when the caller overwrites everything anyway, as the
+//! im2col lowering and the panel packers do.
+
+use std::cell::RefCell;
+
+/// Free-list capacity per thread; excess buffers are simply freed.
+const MAX_CACHED: usize = 16;
+
+#[derive(Default)]
+struct Arena {
+    free: Vec<Vec<f32>>,
+    allocations: u64,
+    reuses: u64,
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+}
+
+/// Counters describing the current thread's arena traffic.
+///
+/// After a warm-up step, a steady-state training loop should show
+/// `allocations` flat and `reuses` growing — the property the conv and
+/// kernel tests assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Buffers that had to be allocated or grown.
+    pub allocations: u64,
+    /// Buffers served from the free list without growing.
+    pub reuses: u64,
+}
+
+/// Snapshot the current thread's arena counters.
+pub fn stats() -> ScratchStats {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        ScratchStats { allocations: a.allocations, reuses: a.reuses }
+    })
+}
+
+/// A scratch buffer on loan from the arena; returns on drop.
+///
+/// Dereferences to `[f32]` of exactly the requested length.
+#[derive(Debug, Default)]
+pub struct ScratchBuf {
+    buf: Vec<f32>,
+}
+
+impl ScratchBuf {
+    /// The buffer contents as a slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf
+    }
+
+    /// The buffer contents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl std::ops::Deref for ScratchBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for ScratchBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        // try_with: the thread may be tearing down its TLS — then just free.
+        let _ = ARENA.try_with(|a| {
+            let mut a = a.borrow_mut();
+            if a.free.len() < MAX_CACHED {
+                a.free.push(buf);
+            }
+        });
+    }
+}
+
+/// Borrow a buffer of `len` floats with **unspecified contents**.
+///
+/// Prefers the smallest cached buffer whose capacity already fits `len`
+/// (best fit), falling back to growing the largest one.
+pub fn take(len: usize) -> ScratchBuf {
+    let mut buf = ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        let mut best: Option<usize> = None;
+        for (i, b) in a.free.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| b.capacity() < a.free[j].capacity()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                a.reuses += 1;
+                a.free.swap_remove(i)
+            }
+            None => {
+                a.allocations += 1;
+                // Growing a cached buffer still reallocs; take the largest
+                // so the grow is as cheap as possible.
+                let mut largest: Option<usize> = None;
+                for (i, b) in a.free.iter().enumerate() {
+                    if largest.is_none_or(|j| b.capacity() > a.free[j].capacity()) {
+                        largest = Some(i);
+                    }
+                }
+                largest.map(|i| a.free.swap_remove(i)).unwrap_or_default()
+            }
+        }
+    });
+    // Adjust length without touching retained (stale) contents; only newly
+    // grown elements are zero-filled, as safe Rust requires.
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    } else {
+        buf.truncate(len);
+    }
+    ScratchBuf { buf }
+}
+
+/// Borrow a buffer of `len` floats, zero-filled.
+pub fn take_zeroed(len: usize) -> ScratchBuf {
+    let mut b = take(len);
+    b.as_mut_slice().fill(0.0);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_has_requested_length() {
+        for len in [0usize, 1, 7, 1024] {
+            assert_eq!(take(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn take_zeroed_is_zero() {
+        {
+            let mut b = take(64);
+            b.as_mut_slice().fill(3.5);
+        }
+        let b = take_zeroed(64);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn buffers_are_reused_across_takes() {
+        let warm = take(256);
+        let ptr = warm.as_slice().as_ptr();
+        drop(warm);
+        let before = stats();
+        let again = take(256);
+        let after = stats();
+        assert_eq!(again.as_slice().as_ptr(), ptr, "same allocation should come back");
+        assert_eq!(after.allocations, before.allocations);
+        assert_eq!(after.reuses, before.reuses + 1);
+    }
+
+    #[test]
+    fn shrinking_take_keeps_capacity() {
+        drop(take(1000));
+        let before = stats();
+        let small = take(10);
+        assert_eq!(small.len(), 10);
+        assert_eq!(stats().allocations, before.allocations);
+    }
+
+    #[test]
+    fn concurrent_takes_get_distinct_buffers() {
+        let a = take(128);
+        let b = take(128);
+        assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests: the blocked (and threaded) matmul kernels are
+//! numerically equivalent to the naive reference kernels, and the scratch
+//! arena honours its sizing contract.
+//!
+//! Shapes are drawn from ranges that deliberately include the degenerate
+//! and awkward cases — `m = 1`, `k = 1`, dimensions that are not multiples
+//! of the register tile or cache block — because those exercise the
+//! zero-padded panel edges of the packed kernels.
+
+use minidnn::tensor::threads::with_threads;
+use minidnn::tensor::{reference, scratch, Tensor};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Maximum relative error tolerated between the blocked kernels and the
+/// naive reference. Both sum in f32, but blocked kernels reassociate the
+/// k-loop across panels, so results differ by a few ulps at these sizes.
+const REL_TOL: f32 = 1e-4;
+
+/// `|x - y|` bounded by `REL_TOL` relative to magnitude (with an absolute
+/// floor so near-zero sums compare sanely).
+fn close(x: f32, y: f32) -> bool {
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (x - y).abs() <= REL_TOL * scale
+}
+
+fn assert_all_close(got: &Tensor, want: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+        prop_assert!(close(g, w), "element {}: {} vs {}", i, g, w);
+    }
+    Ok(())
+}
+
+/// Shape strategy spanning tile-aligned and unaligned dimensions, with the
+/// degenerate edges pinned in explicitly so every run covers them.
+fn dims() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2usize), Just(3usize), 1usize..80]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_matches_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(1));
+        assert_all_close(&minidnn::tensor::matmul(&a, &b), &reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn blocked_matmul_at_b_matches_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        let a = Tensor::randn(&[k, m], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(2));
+        assert_all_close(&minidnn::tensor::matmul_at_b(&a, &b), &reference::matmul_at_b(&a, &b))?;
+    }
+
+    #[test]
+    fn blocked_matmul_a_bt_matches_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[n, k], seed.wrapping_add(3));
+        assert_all_close(&minidnn::tensor::matmul_a_bt(&a, &b), &reference::matmul_a_bt(&a, &b))?;
+    }
+
+    #[test]
+    fn threaded_matmul_matches_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(4));
+        let threaded = with_threads(4, || minidnn::tensor::matmul(&a, &b));
+        assert_all_close(&threaded, &reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn gemm_accumulation_adds_exactly_one_product(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        // c = A·B (fresh) followed by c += A·B must equal 2 · (A·B).
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(5));
+        let mut c = vec![0.0f32; m * n];
+        minidnn::tensor::gemm(m, n, k, a.data(), b.data(), &mut c, false);
+        let once = c.clone();
+        minidnn::tensor::gemm(m, n, k, a.data(), b.data(), &mut c, true);
+        for (i, (&twice, &one)) in c.iter().zip(&once).enumerate() {
+            prop_assert!(close(twice, 2.0 * one), "element {}: {} vs {}", i, twice, 2.0 * one);
+        }
+    }
+
+    #[test]
+    fn scratch_take_is_exactly_sized_and_fully_writable(len in 1usize..20_000) {
+        let mut buf = scratch::take(len);
+        prop_assert_eq!(buf.as_slice().len(), len);
+        // Contents may be stale by contract; every element must be writable
+        // and hold its value.
+        for (i, v) in buf.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        for (i, &v) in buf.as_slice().iter().enumerate() {
+            prop_assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn scratch_take_zeroed_is_zero(len in 1usize..20_000) {
+        // Dirty the arena first so reuse paths are exercised.
+        {
+            let mut dirty = scratch::take(len);
+            dirty.as_mut_slice().fill(f32::NAN);
+        }
+        let buf = scratch::take_zeroed(len);
+        prop_assert_eq!(buf.as_slice().len(), len);
+        prop_assert!(buf.as_slice().iter().all(|&v| v == 0.0));
+    }
+}
+
+/// Reuse is observable: after a warm-up call, repeating the same request on
+/// the same thread is served from the free list, not a fresh allocation.
+#[test]
+fn scratch_reuses_buffers_across_calls() {
+    {
+        let _warm = scratch::take(4096);
+    }
+    let before = scratch::stats();
+    for _ in 0..8 {
+        let buf = scratch::take(4096);
+        assert_eq!(buf.as_slice().len(), 4096);
+    }
+    let after = scratch::stats();
+    assert_eq!(after.allocations, before.allocations, "steady state must not allocate");
+    assert!(after.reuses >= before.reuses + 8, "every take should be a reuse");
+}

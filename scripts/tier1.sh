@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, and a
+# warnings-as-errors clippy pass over the whole workspace.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "tier-1: OK"
