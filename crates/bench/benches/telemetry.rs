@@ -1,0 +1,54 @@
+//! Criterion bench: ns per telemetry event, enabled vs disabled.
+//!
+//! The disabled case is the number that matters for instrumentation
+//! density decisions — it must be a few nanoseconds (one relaxed atomic
+//! load plus the branch), so call sites can stay unconditionally
+//! instrumented. The enabled case measures the thread-local buffer push
+//! plus its amortized flush into the shared sink.
+
+use cannikin_telemetry::{self as telemetry, Counter, Event, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn event(i: u64) -> Event {
+    Event::Counter(Counter { name: "bench".to_string(), value: i as f64 })
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    // No session is live: every emit must take the early-out path.
+    assert!(!telemetry::enabled());
+    c.bench_function("telemetry/emit_disabled", |b| {
+        b.iter(|| telemetry::emit(black_box(event(7))));
+    });
+    c.bench_function("telemetry/enabled_check_disabled", |b| {
+        b.iter(|| black_box(telemetry::enabled()));
+    });
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    c.bench_function("telemetry/emit_enabled", |b| {
+        // iter_custom so the sink can be drained *outside* the timed
+        // region: criterion may ask for millions of iterations, which
+        // would otherwise grow the sink without bound.
+        b.iter_custom(|iters| {
+            let session = Session::start();
+            let mut elapsed = Duration::ZERO;
+            let mut remaining = iters;
+            while remaining > 0 {
+                let chunk = remaining.min(65_536);
+                let started = Instant::now();
+                for i in 0..chunk {
+                    telemetry::emit(black_box(event(i)));
+                }
+                elapsed += started.elapsed();
+                remaining -= chunk;
+                black_box(session.drain());
+            }
+            elapsed
+        });
+    });
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -8,11 +8,13 @@ mod ablations;
 mod discussion;
 mod figures;
 mod tables;
+mod telemetry;
 
 pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic, multi_job};
 pub use discussion::{cluster_c_experiment, hetero_sweep};
 pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
 pub use tables::{table1, table6, table_prediction};
+pub use telemetry::{summarize, telemetry_summary};
 
 /// Run every experiment in paper order, returning `(id, output)` pairs.
 pub fn all() -> Vec<(&'static str, String)> {
@@ -33,6 +35,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("elastic", elastic()),
         ("accumulation", accumulation()),
         ("multi_job", multi_job()),
+        ("telemetry", telemetry_summary()),
     ]
 }
 
@@ -55,6 +58,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "elastic" => Some(elastic()),
         "accumulation" => Some(accumulation()),
         "multi_job" => Some(multi_job()),
+        "telemetry" => Some(telemetry_summary()),
         _ => None,
     }
 }
@@ -78,5 +82,6 @@ pub fn ids() -> Vec<&'static str> {
         "elastic",
         "accumulation",
         "multi_job",
+        "telemetry",
     ]
 }

@@ -4,9 +4,19 @@ use crate::row;
 use cannikin_core::engine::{CannikinTrainer, TrainerConfig};
 use cannikin_core::optperf::OptPerfSolver;
 use cannikin_core::perf::{Analyzer, MeasurementAggregation};
+use cannikin_telemetry::{self as telemetry, Event};
 use cannikin_workloads::{clusters, profiles, WorkloadProfile};
 use hetsim::catalog::Gpu;
 use hetsim::Simulator;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A unique `rank` identity per recording run in this process, so events
+/// recorded by concurrently running tests/experiments (the recorder is
+/// global) can be filtered out of each other's drains.
+pub(crate) fn next_session_tag() -> u32 {
+    static TAG: AtomicU32 = AtomicU32::new(1);
+    TAG.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Table 1: the NVIDIA data-center GPU evolution rows, printed from the
 /// simulator's catalog.
@@ -123,17 +133,52 @@ pub fn table6() -> String {
 }
 
 /// `(max per-epoch overhead fraction, whole-run overhead fraction)` of a
-/// Cannikin run on cluster B.
+/// Cannikin run on cluster B, computed from the telemetry stream the
+/// trainer emits (one `epoch_time_s` + one `overhead_s` counter per
+/// epoch) rather than from its in-memory epoch records.
 pub fn overheads(profile: &WorkloadProfile, seed: u64) -> (f64, f64) {
     let cluster = clusters::cluster_b();
     let base = profile.base_batch.max(cluster.len() as u64);
     let sim = Simulator::new(cluster, profile.job.clone(), seed);
     let config = TrainerConfig::new(profile.dataset_size, base, profile.max_batch);
     let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
-    let records = trainer.train_until(profile.target_effective_epochs(), 400).expect("run");
-    let max_o = records.iter().map(|r| r.overhead_fraction()).fold(0.0, f64::max);
-    let total_overhead: f64 = records.iter().map(|r| r.overhead_seconds).sum();
-    let total_time: f64 = records.iter().map(|r| r.epoch_time + r.overhead_seconds).sum();
+
+    let tag = next_session_tag();
+    let session = telemetry::Session::start();
+    let _identity = telemetry::set_thread_identity(0, tag);
+    let target = profile.target_effective_epochs();
+    let mut epoch_times = Vec::new();
+    let mut overhead_times = Vec::new();
+    let mut epochs = 0usize;
+    while trainer.effective_epochs() < target && epochs < 400 {
+        trainer.run_epoch().expect("run");
+        epochs += 1;
+        // Drain per epoch: a long run's per-step events would otherwise
+        // accumulate in the sink for the whole training job.
+        for record in session.drain() {
+            if record.rank != tag {
+                continue; // another concurrent run's events
+            }
+            if let Event::Counter(c) = &record.event {
+                match c.name.as_str() {
+                    "epoch_time_s" => epoch_times.push(c.value),
+                    "overhead_s" => overhead_times.push(c.value),
+                    _ => {}
+                }
+            }
+        }
+    }
+    drop(session);
+    assert_eq!(epoch_times.len(), epochs, "one epoch_time_s counter per epoch");
+    assert_eq!(overhead_times.len(), epochs, "one overhead_s counter per epoch");
+
+    let max_o = epoch_times
+        .iter()
+        .zip(&overhead_times)
+        .map(|(&t, &o)| o / (o + t))
+        .fold(0.0, f64::max);
+    let total_overhead: f64 = overhead_times.iter().sum();
+    let total_time: f64 = epoch_times.iter().sum::<f64>() + total_overhead;
     (max_o, total_overhead / total_time)
 }
 

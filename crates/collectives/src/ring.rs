@@ -1,5 +1,6 @@
 //! Ring all-reduce over crossbeam channels.
 
+use cannikin_telemetry::{self as telemetry, AllReduceBucket, Event};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
@@ -143,8 +144,17 @@ impl Communicator {
     pub fn all_reduce_buckets(&self, data: &mut [f32], buckets: usize) -> Vec<std::ops::Range<usize>> {
         let ranges = super::bucket_ranges(data.len(), buckets);
         let mut order = Vec::with_capacity(ranges.len());
-        for r in ranges.into_iter().rev() {
+        let record = telemetry::enabled();
+        for (i, r) in ranges.into_iter().rev().enumerate() {
+            let bucket_started = record.then(std::time::Instant::now);
             self.all_reduce_sum(&mut data[r.clone()]);
+            if let Some(started) = bucket_started {
+                telemetry::emit(Event::AllReduceBucket(AllReduceBucket {
+                    bucket: i as u32,
+                    elems: r.len() as u64,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                }));
+            }
             order.push(r);
         }
         order

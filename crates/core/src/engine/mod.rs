@@ -78,8 +78,9 @@ pub struct EpochRecord {
     pub effective_epochs: f64,
     /// Cumulative wall time after this epoch, s.
     pub cumulative_time: f64,
-    /// Real wall-clock time spent in the optimizer/solver for this epoch
-    /// (the Table 6 overhead), s.
+    /// Real wall-clock time spent in the optimizer for this epoch —
+    /// split planning *plus* performance-model fitting (the Table 6
+    /// overhead), s.
     pub overhead_seconds: f64,
     /// Bottleneck pattern of the plan, when a model-based plan was used.
     pub pattern: Option<Vec<Bottleneck>>,

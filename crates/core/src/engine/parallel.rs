@@ -21,6 +21,7 @@ use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerf
 use crate::perf::{Analyzer, MeasurementAggregation};
 
 use cannikin_collectives::CommGroup;
+use cannikin_telemetry::{self as telemetry, Event, SplitDecision, SplitSource, StepTiming};
 use hetsim::trace::{BatchTrace, NodeObservation};
 use minidnn::data::ClassificationDataset;
 use minidnn::layers::{assign_grads_from, flatten_grads_into, flatten_values, zero_grads, Layer, Sequential};
@@ -147,11 +148,15 @@ impl ParallelTrainer {
 
     /// Run one epoch of real data-parallel training.
     pub fn run_epoch(&mut self) -> ParallelEpochReport {
+        let _epoch_span = telemetry::span("epoch");
         let n = self.config.slowdowns.len();
         let phi = self.tracker.noise_scale();
 
         // ---- Plan the split (Fig. 4 control loop). ----
+        let plan_span = telemetry::span("plan");
         let mut used_model = false;
+        let mut predicted_t = None;
+        let mut source = SplitSource::Bootstrap;
         let (total, local) = if let Ok(input) = self.analyzer.solver_input() {
             let mut solver = OptPerfSolver::new(input);
             let total = if self.config.adaptive {
@@ -162,17 +167,27 @@ impl ParallelTrainer {
             match solver.solve(total) {
                 Ok(plan) => {
                     used_model = true;
+                    source = SplitSource::Solver;
+                    predicted_t = Some(plan.opt_perf);
                     (total, plan.local_batches)
                 }
-                Err(_) => (self.config.base_batch, even_split(self.config.base_batch, n)),
+                Err(_) => {
+                    source = SplitSource::EvenInit;
+                    (self.config.base_batch, even_split(self.config.base_batch, n))
+                }
             }
         } else if self.epoch == 0 || self.last_split.is_empty() {
+            source = SplitSource::EvenInit;
             (self.config.base_batch, even_split(self.config.base_batch, n))
         } else {
             let t: Vec<f64> = (0..n).map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0)).collect();
             let split = bootstrap_split(&t, self.config.base_batch);
             (self.config.base_batch, ensure_distinct_split(&self.last_split, split))
         };
+        drop(plan_span);
+        if telemetry::enabled() {
+            telemetry::emit(Event::SplitDecision(SplitDecision { total, local: local.clone(), predicted_t, source }));
+        }
 
         // ---- Train the epoch across threads. ----
         // Even steps use the planned split, odd steps a ~25%-perturbed
@@ -391,6 +406,11 @@ fn run_rank(args: RankArgs) -> RankOutput {
     // Cap this replica's matmul fan-out at its share of the budget for the
     // lifetime of the rank thread.
     let _budget = minidnn::tensor::threads::ThreadBudgetGuard::new(kernel_threads);
+    // Every record this thread emits carries its rank, and step timings
+    // carry the step index, so events from concurrently running replicas
+    // can never be attributed to the wrong step when the drain interleaves
+    // them by timestamp.
+    let _identity = telemetry::set_thread_identity(rank as u32, rank as u32);
     let mut model = factory(seed);
     // Start from the shared weights so every replica is identical.
     let flat = minidnn::tensor::Tensor::from_vec(weights, &[model.parameters().iter().map(|p| p.len()).sum()])
@@ -404,6 +424,7 @@ fn run_rank(args: RankArgs) -> RankOutput {
     // Flat gradient buffer reused across every step of the epoch.
     let mut g: Vec<f32> = Vec::with_capacity(flat.len());
     for (step, batch_indices) in batches.iter().take(steps).enumerate() {
+        let _step_span = telemetry::span("step");
         let ratio = batch_indices.len() as f64 / step_totals[step] as f64;
         // Forward (+ data load) — the `a_i` phase.
         let t0 = Instant::now();
@@ -449,6 +470,16 @@ fn run_rank(args: RankArgs) -> RankOutput {
         opt.step(&mut model.parameters_mut());
 
         losses.push(f64::from(loss));
+        if telemetry::enabled() {
+            telemetry::emit(Event::StepTiming(StepTiming {
+                step: step as u64,
+                rank: rank as u32,
+                b_i: batch_indices.len() as u64,
+                t_compute: (a_elapsed + p_elapsed) * slowdown,
+                t_comm: comm_time,
+                overlap: 0.0, // functional path synchronizes after backward
+            }));
+        }
         measurements.push(StepMeasurement {
             batch_size: batch_indices.len() as u64,
             a_time: a_elapsed * slowdown,

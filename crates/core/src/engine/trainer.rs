@@ -7,6 +7,7 @@ use crate::goodput::GoodputEngine;
 use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
 
+use cannikin_telemetry::{self as telemetry, Event, SplitDecision, SplitSource};
 use hetsim::Simulator;
 use std::time::Instant;
 
@@ -58,6 +59,7 @@ pub struct CannikinTrainer {
     effective_epochs: f64,
     cumulative_time: f64,
     last_local: Vec<u64>,
+    warm_started: bool,
 }
 
 impl CannikinTrainer {
@@ -82,6 +84,7 @@ impl CannikinTrainer {
             effective_epochs: 0.0,
             cumulative_time: 0.0,
             last_local: Vec::new(),
+            warm_started: false,
         }
     }
 
@@ -91,6 +94,7 @@ impl CannikinTrainer {
     /// OptPerf split.
     pub fn warm_start(&mut self, checkpoint: &crate::optperf::SolverInput) {
         self.analyzer.preload_models(checkpoint);
+        self.warm_started = true;
     }
 
     /// The underlying simulator (e.g. to inject contention mid-run).
@@ -139,30 +143,39 @@ impl CannikinTrainer {
     ///
     /// Propagates solver infeasibility (misconfigured batch ranges).
     pub fn run_epoch(&mut self) -> Result<EpochRecord, CannikinError> {
+        let _epoch_span = telemetry::span("epoch");
         let n = self.sim.cluster().len();
         let phi = self.noise.noise_scale(self.effective_epochs);
 
+        let plan_span = telemetry::span("plan");
         let started = Instant::now();
         let mut used_model = false;
         let mut pattern = None;
         let mut accumulation = 1u64;
+        let mut predicted_t = None;
+        let mut source = SplitSource::Bootstrap;
         let (total, local) = if let Ok(input) = self.analyzer.solver_input() {
             // Model-based path.
             let mut solver = OptPerfSolver::new(input);
+            source = if self.warm_started { SplitSource::WarmStart } else { SplitSource::Solver };
+            self.warm_started = false;
             if self.config.adaptive_batch {
                 let sel = self.goodput.select(&mut solver, phi)?;
                 used_model = true;
                 pattern = Some(sel.plan.pattern.clone());
                 accumulation = sel.accumulation;
+                predicted_t = Some(sel.plan.opt_perf);
                 (sel.total, sel.plan.local_batches)
             } else {
                 let plan = solver.solve(self.config.base_batch)?;
                 used_model = true;
                 pattern = Some(plan.pattern.clone());
+                predicted_t = Some(plan.opt_perf);
                 (self.config.base_batch, plan.local_batches)
             }
         } else if self.epoch == 0 || self.last_local.is_empty() {
             // Epoch 0: even split at B₀.
+            source = SplitSource::EvenInit;
             (self.config.base_batch, even_split(self.config.base_batch, n))
         } else {
             // No usable model (epoch 1, or the learned model went stale
@@ -188,31 +201,55 @@ impl CannikinTrainer {
             let split = bootstrap_split(&t_samples, total);
             (total, ensure_distinct_split(&self.last_local, split))
         };
-        let overhead_seconds = started.elapsed().as_secs_f64();
+        let plan_seconds = started.elapsed().as_secs_f64();
+        drop(plan_span);
+        if telemetry::enabled() {
+            telemetry::emit(Event::SplitDecision(SplitDecision { total, local: local.clone(), predicted_t, source }));
+        }
 
         let steps = (self.config.dataset_size / total as usize).max(1);
+        // Model fitting (absorbing batch observations into the analyzer) is
+        // real optimizer work and counts toward the Table 6 overhead, even
+        // though it happens interleaved with the simulated batches.
+        let mut fit_seconds = 0.0;
+        let mut observe = |analyzer: &mut Analyzer, batch: &hetsim::trace::BatchTrace, step: usize| {
+            if telemetry::enabled() {
+                for obs in &batch.observations {
+                    telemetry::emit(obs.step_timing(step as u64));
+                }
+            }
+            let fit_started = Instant::now();
+            analyzer.observe_batch(batch);
+            fit_seconds += fit_started.elapsed().as_secs_f64();
+        };
+        let sim_span = telemetry::span("simulate");
         let (epoch_time, mean_batch_time) = if accumulation > 1 {
             // Each optimizer step: (accum − 1) no-sync micro-batches, then
             // one synchronized batch.
             let mut epoch_time = 0.0;
-            for _ in 0..steps {
+            for step in 0..steps {
                 for _ in 0..accumulation - 1 {
                     let micro = self.sim.simulate_microbatch(&local);
                     epoch_time += micro.batch_time;
-                    self.analyzer.observe_batch(&micro);
+                    observe(&mut self.analyzer, &micro, step);
                 }
                 let sync = self.sim.simulate_batch(&local);
                 epoch_time += sync.batch_time;
-                self.analyzer.observe_batch(&sync);
+                observe(&mut self.analyzer, &sync, step);
             }
             (epoch_time, epoch_time / steps as f64)
         } else {
             let trace = self.sim.simulate_epoch(&local, steps);
-            for batch in &trace.batches {
-                self.analyzer.observe_batch(batch);
+            for (step, batch) in trace.batches.iter().enumerate() {
+                observe(&mut self.analyzer, batch, step);
             }
             (trace.epoch_time, trace.mean_batch_time())
         };
+        drop(sim_span);
+        let overhead_seconds = plan_seconds + fit_seconds;
+
+        telemetry::counter("epoch_time_s", epoch_time);
+        telemetry::counter("overhead_s", overhead_seconds);
 
         let efficiency = statistical_efficiency(phi, self.config.base_batch, total);
         let effective = steps as f64 * total as f64 * efficiency / self.config.dataset_size as f64;

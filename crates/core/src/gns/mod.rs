@@ -28,6 +28,7 @@ pub use estimators::{local_estimates, GnsEstimate, GradientSample, LocalEstimate
 pub use weighting::{optimal_weights, WeightKind};
 
 use crate::error::CannikinError;
+use cannikin_telemetry::{self as telemetry, Event as TelemetryEvent};
 
 /// Aggregation strategy for the per-node estimates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +70,14 @@ pub fn estimate_gns(
     };
     let grad_sq: f64 = locals.iter().zip(&wg).map(|(l, w)| w * l.g).sum();
     let trace: f64 = locals.iter().zip(&ws).map(|(l, w)| w * l.s).sum();
+    if telemetry::enabled() {
+        telemetry::emit(TelemetryEvent::GnsEstimated(cannikin_telemetry::GnsEstimated {
+            b_noise: if grad_sq > 0.0 { trace / grad_sq } else { f64::NAN },
+            grad_sq,
+            variance: trace,
+            weights: ws,
+        }));
+    }
     Ok(GnsEstimate { grad_sq, trace })
 }
 

@@ -14,6 +14,7 @@
 use crate::error::CannikinError;
 use crate::gns::goodput;
 use crate::optperf::{compute_span, OptPerfSolver, Plan};
+use cannikin_telemetry::{self as telemetry, Event, GoodputEval};
 use serde::{Deserialize, Serialize};
 
 /// A cached OptPerf prediction for one total-batch-size candidate.
@@ -164,6 +165,7 @@ impl GoodputEngine {
             let step_time2 = plan2.opt_perf + (best2.accumulation - 1) as f64 * compute_span(solver.input(), &plan2.local_batches);
             let g = goodput(phi, self.base_batch, best2.total, step_time2);
             self.update_entry(best2.total, step_time2, &plan2);
+            self.emit_eval(phi, best2.total, g, best2.accumulation, rebuilt);
             return Ok(Selection {
                 total: best2.total,
                 accumulation: best2.accumulation,
@@ -177,6 +179,7 @@ impl GoodputEngine {
         let step_time = plan.opt_perf + (best.accumulation - 1) as f64 * compute_span(solver.input(), &plan.local_batches);
         let g = goodput(phi, self.base_batch, best.total, step_time);
         self.update_entry(best.total, step_time, &plan);
+        self.emit_eval(phi, best.total, g, best.accumulation, rebuilt);
         Ok(Selection {
             total: best.total,
             accumulation: best.accumulation,
@@ -185,6 +188,19 @@ impl GoodputEngine {
             solves,
             cache_rebuilt: rebuilt,
         })
+    }
+
+    fn emit_eval(&self, phi: f64, total: u64, goodput: f64, accumulation: u64, cache_rebuilt: bool) {
+        if telemetry::enabled() {
+            telemetry::emit(Event::GoodputEval(GoodputEval {
+                phi,
+                total,
+                goodput,
+                accumulation,
+                candidates: self.cache.as_ref().map_or(0, Vec::len) as u32,
+                cache_rebuilt,
+            }));
+        }
     }
 
     fn update_entry(&mut self, total: u64, step_time: f64, plan: &Plan) {

@@ -2,6 +2,7 @@
 
 use super::{NodePerf, SolverInput};
 use crate::error::CannikinError;
+use cannikin_telemetry::{self as telemetry, Event, SolverInvocation};
 use serde::{Deserialize, Serialize};
 
 /// Which resource limits a node at the solved operating point (§3.2.3).
@@ -128,6 +129,7 @@ impl OptPerfSolver {
     /// than the node count (every node must train at least one sample) or
     /// exceeds the sum of the per-node memory caps.
     pub fn solve(&mut self, total: u64) -> Result<Plan, CannikinError> {
+        let invocation_started = std::time::Instant::now();
         let n = self.input.len();
         if total < n as u64 {
             return Err(CannikinError::InfeasibleBatch {
@@ -205,6 +207,15 @@ impl OptPerfSolver {
         // realized pattern is not.
         let boundary = pattern.iter().filter(|p| **p == Bottleneck::Compute).count();
         self.warm_boundary = Some(boundary);
+        if telemetry::enabled() {
+            telemetry::emit(Event::SolverInvocation(SolverInvocation {
+                wall_ns: invocation_started.elapsed().as_nanos() as u64,
+                total,
+                candidates: 1,
+                solves: solves as u32,
+                boundary: boundary as u32,
+            }));
+        }
         Ok(Plan {
             continuous_opt: solution.makespan,
             local_batches,

@@ -1,0 +1,140 @@
+//! The `CANNIKIN_TELEMETRY` environment knob.
+//!
+//! Binaries and examples call [`export_from_env`] after draining a session
+//! to honour specs like:
+//!
+//! ```text
+//! CANNIKIN_TELEMETRY=jsonl:/tmp/run.jsonl
+//! CANNIKIN_TELEMETRY=chrome:/tmp/run.trace.json
+//! CANNIKIN_TELEMETRY=jsonl:/tmp/run.jsonl,chrome:/tmp/run.trace.json
+//! ```
+//!
+//! Targets are comma-separated `format:path` pairs (so paths themselves
+//! must not contain commas).
+
+use crate::event::Record;
+use crate::export::{write_chrome_trace, write_jsonl};
+use std::path::PathBuf;
+
+/// Name of the environment variable consulted by [`export_from_env`].
+pub const ENV_VAR: &str = "CANNIKIN_TELEMETRY";
+
+/// One parsed export destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportTarget {
+    /// One JSON object per record, newline-delimited.
+    Jsonl(PathBuf),
+    /// Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
+    Chrome(PathBuf),
+}
+
+impl ExportTarget {
+    /// The destination path.
+    pub fn path(&self) -> &PathBuf {
+        match self {
+            ExportTarget::Jsonl(p) | ExportTarget::Chrome(p) => p,
+        }
+    }
+}
+
+/// Parse a `format:path[,format:path...]` spec.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or unknown-format entry.
+pub fn parse_targets(spec: &str) -> Result<Vec<ExportTarget>, String> {
+    let mut targets = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (format, path) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("telemetry target `{entry}` is not `format:path`"))?;
+        if path.is_empty() {
+            return Err(format!("telemetry target `{entry}` has an empty path"));
+        }
+        match format {
+            "jsonl" => targets.push(ExportTarget::Jsonl(PathBuf::from(path))),
+            "chrome" => targets.push(ExportTarget::Chrome(PathBuf::from(path))),
+            other => return Err(format!("unknown telemetry format `{other}` (expected `jsonl` or `chrome`)")),
+        }
+    }
+    Ok(targets)
+}
+
+/// Write `records` to every target named by `CANNIKIN_TELEMETRY` and return
+/// the written paths. Unset or empty variable → no writes, `Ok(vec![])`.
+///
+/// # Errors
+///
+/// Returns a description of the first parse or I/O failure.
+pub fn export_from_env(records: &[Record]) -> Result<Vec<PathBuf>, String> {
+    let Ok(spec) = std::env::var(ENV_VAR) else {
+        return Ok(Vec::new());
+    };
+    export_to(&spec, records)
+}
+
+/// [`export_from_env`] with an explicit spec (testable without touching the
+/// process environment).
+///
+/// # Errors
+///
+/// Returns a description of the first parse or I/O failure.
+pub fn export_to(spec: &str, records: &[Record]) -> Result<Vec<PathBuf>, String> {
+    let mut written = Vec::new();
+    for target in parse_targets(spec)? {
+        let result = match &target {
+            ExportTarget::Jsonl(path) => write_jsonl(path, records),
+            ExportTarget::Chrome(path) => write_chrome_trace(path, records),
+        };
+        result.map_err(|e| format!("writing {}: {e}", target.path().display()))?;
+        written.push(target.path().clone());
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_multi_target_specs() {
+        assert_eq!(parse_targets("jsonl:/tmp/a.jsonl").unwrap(), vec![ExportTarget::Jsonl(PathBuf::from("/tmp/a.jsonl"))]);
+        assert_eq!(
+            parse_targets("jsonl:/tmp/a.jsonl, chrome:/tmp/b.json").unwrap(),
+            vec![ExportTarget::Jsonl(PathBuf::from("/tmp/a.jsonl")), ExportTarget::Chrome(PathBuf::from("/tmp/b.json"))]
+        );
+        assert_eq!(parse_targets("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_targets("jsonl").unwrap_err().contains("not `format:path`"));
+        assert!(parse_targets("jsonl:").unwrap_err().contains("empty path"));
+        assert!(parse_targets("csv:/tmp/x").unwrap_err().contains("unknown telemetry format"));
+    }
+
+    #[test]
+    fn export_to_writes_every_target() {
+        let dir = std::env::temp_dir().join("cannikin-telemetry-env-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("out.jsonl");
+        let chrome = dir.join("out.trace.json");
+        let spec = format!("jsonl:{},chrome:{}", jsonl.display(), chrome.display());
+        let records = vec![Record {
+            ts_ns: 1,
+            node: 0,
+            rank: 0,
+            event: crate::event::Event::Counter(crate::event::Counter { name: "x".into(), value: 1.0 }),
+        }];
+        let written = export_to(&spec, &records).unwrap();
+        assert_eq!(written.len(), 2);
+        assert!(std::fs::read_to_string(&jsonl).unwrap().contains("\"counter\""));
+        assert!(std::fs::read_to_string(&chrome).unwrap().starts_with("{\"traceEvents\":["));
+        std::fs::remove_file(jsonl).ok();
+        std::fs::remove_file(chrome).ok();
+    }
+}

@@ -1,0 +1,441 @@
+//! Typed structured events — the things the Cannikin paper reasons about.
+//!
+//! Every event is a plain serde-derivable struct; [`Record`] wraps one
+//! with a session-relative timestamp and the `(node, rank)` identity of
+//! the emitting thread (Chrome-trace `pid`/`tid`). The JSON mapping used
+//! by the exporters is implemented by hand on top of [`crate::json`] so
+//! the crate stays dependency-light; [`Record::from_json`] inverts it for
+//! the round-trip tests and offline analysis.
+
+use crate::json::Json;
+use serde::{Deserialize, Serialize};
+
+/// Which path produced a split decision (Fig. 4 control loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitSource {
+    /// Epoch-0 even split at B₀ (no information yet).
+    EvenInit,
+    /// The Eq. (8) per-sample-time bootstrap.
+    Bootstrap,
+    /// The OptPerf solver on learned models.
+    Solver,
+    /// The solver on a preloaded (checkpointed) model — bootstrap skipped.
+    WarmStart,
+}
+
+impl SplitSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            SplitSource::EvenInit => "even_init",
+            SplitSource::Bootstrap => "bootstrap",
+            SplitSource::Solver => "solver",
+            SplitSource::WarmStart => "warm_start",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SplitSource> {
+        match s {
+            "even_init" => Some(SplitSource::EvenInit),
+            "bootstrap" => Some(SplitSource::Bootstrap),
+            "solver" => Some(SplitSource::Solver),
+            "warm_start" => Some(SplitSource::WarmStart),
+            _ => None,
+        }
+    }
+}
+
+/// One node's timing of one training step: the per-batch observable the
+/// OptPerf fits are built from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Step index within the epoch.
+    pub step: u64,
+    /// Emitting rank / node index.
+    pub rank: u32,
+    /// Local batch size `b_i`.
+    pub b_i: u64,
+    /// Total compute time (`a_i + P_i`), s.
+    pub t_compute: f64,
+    /// Observed gradient-synchronization time, s (0 for no-sync steps).
+    pub t_comm: f64,
+    /// Observed compute/communication overlap ratio γ (0 when unknown).
+    pub overlap: f64,
+}
+
+/// The engine's per-epoch local-batch split decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitDecision {
+    /// Total batch size B.
+    pub total: u64,
+    /// The per-node local batches `r` (summing to `total`).
+    pub local: Vec<u64>,
+    /// Predicted batch time of the split, s (`None` for model-free paths).
+    pub predicted_t: Option<f64>,
+    /// Which planning path produced the split.
+    pub source: SplitSource,
+}
+
+/// One gradient-noise-scale estimate (Eq. (10) + Theorem 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GnsEstimated {
+    /// The noise scale `B_noise = tr(Σ)/|G|²`.
+    pub b_noise: f64,
+    /// Estimated squared gradient norm `|G|²`.
+    pub grad_sq: f64,
+    /// Estimated total gradient variance `tr(Σ)`.
+    pub variance: f64,
+    /// The per-node minimum-variance weights applied to the variance
+    /// estimators (uniform for the naive-mean ablation).
+    pub weights: Vec<f64>,
+}
+
+/// One goodput-driven total-batch-size selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoodputEval {
+    /// Gradient noise scale φ the selection ran under.
+    pub phi: f64,
+    /// Chosen effective total batch size.
+    pub total: u64,
+    /// Predicted goodput at the chosen size (reference samples/s).
+    pub goodput: f64,
+    /// Gradient-accumulation factor of the chosen candidate.
+    pub accumulation: u64,
+    /// Candidate totals evaluated by the cached sweep.
+    pub candidates: u32,
+    /// Whether the `OptPerf_init` cache was (re)built this selection.
+    pub cache_rebuilt: bool,
+}
+
+/// Timing of one gradient bucket's ring all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllReduceBucket {
+    /// Bucket index in reduction order (output layers first).
+    pub bucket: u32,
+    /// Elements reduced in this bucket.
+    pub elems: u64,
+    /// Wall time of the bucket's all-reduce, ns.
+    pub wall_ns: u64,
+}
+
+/// One OptPerf solver invocation (the Table 6 overhead unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverInvocation {
+    /// Wall time of the invocation, ns.
+    pub wall_ns: u64,
+    /// Total batch size solved for.
+    pub total: u64,
+    /// Candidate totals this invocation served (1 for a single solve).
+    pub candidates: u32,
+    /// Linear-system solves performed.
+    pub solves: u32,
+    /// Realized compute-bottleneck boundary C.
+    pub boundary: u32,
+}
+
+/// A generic named counter sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counter {
+    /// Counter name (e.g. `epoch_time_s`).
+    pub name: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A span boundary (Chrome-trace `B`/`E` phases). Spans nest per thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Span name (e.g. `epoch`, `plan`, `simulate`).
+    pub name: String,
+}
+
+/// The closed set of telemetry events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Per-node, per-step timing.
+    StepTiming(StepTiming),
+    /// A local-batch split decision.
+    SplitDecision(SplitDecision),
+    /// A gradient-noise-scale estimate.
+    GnsEstimated(GnsEstimated),
+    /// A goodput-driven batch-size selection.
+    GoodputEval(GoodputEval),
+    /// One all-reduce bucket timing.
+    AllReduceBucket(AllReduceBucket),
+    /// One solver invocation.
+    SolverInvocation(SolverInvocation),
+    /// A named counter sample.
+    Counter(Counter),
+    /// A span opening.
+    SpanBegin(Span),
+    /// A span closing (matches the most recent unclosed begin on the same
+    /// thread).
+    SpanEnd(Span),
+}
+
+impl Event {
+    /// The event's stable kind tag (the `type` field of the JSONL format).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::StepTiming(_) => "step_timing",
+            Event::SplitDecision(_) => "split_decision",
+            Event::GnsEstimated(_) => "gns_estimate",
+            Event::GoodputEval(_) => "goodput_eval",
+            Event::AllReduceBucket(_) => "all_reduce_bucket",
+            Event::SolverInvocation(_) => "solver_invocation",
+            Event::Counter(_) => "counter",
+            Event::SpanBegin(_) => "span_begin",
+            Event::SpanEnd(_) => "span_end",
+        }
+    }
+}
+
+/// One recorded event: what happened, when, and on which `(node, rank)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Nanoseconds since the recorder's epoch (session-relative ordering,
+    /// not wall-clock time).
+    pub ts_ns: u64,
+    /// Logical node id (Chrome-trace `pid`).
+    pub node: u32,
+    /// Logical rank / thread id (Chrome-trace `tid`).
+    pub rank: u32,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl Record {
+    /// The JSONL object form: flat, with a `type` discriminator.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("ts_ns".to_string(), Json::Num(self.ts_ns as f64)),
+            ("node".to_string(), Json::Num(f64::from(self.node))),
+            ("rank".to_string(), Json::Num(f64::from(self.rank))),
+            ("type".to_string(), Json::Str(self.event.kind().to_string())),
+        ];
+        members.extend(event_fields(&self.event));
+        Json::Obj(members)
+    }
+
+    /// One line of the JSONL export.
+    pub fn to_jsonl_line(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Invert [`Record::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &Json) -> Result<Record, String> {
+        let ts_ns = req_u64(value, "ts_ns")?;
+        let node = req_u64(value, "node")? as u32;
+        let rank = req_u64(value, "rank")? as u32;
+        let kind = value.get("type").and_then(Json::as_str).ok_or("missing `type`")?;
+        let event = event_from_fields(kind, value)?;
+        Ok(Record { ts_ns, node, rank, event })
+    }
+}
+
+/// The flattened payload fields of an event (everything but the envelope).
+pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
+    match event {
+        Event::StepTiming(e) => vec![
+            ("step".into(), Json::Num(e.step as f64)),
+            ("rank_field".into(), Json::Num(f64::from(e.rank))),
+            ("b_i".into(), Json::Num(e.b_i as f64)),
+            ("t_compute".into(), Json::num(e.t_compute)),
+            ("t_comm".into(), Json::num(e.t_comm)),
+            ("overlap".into(), Json::num(e.overlap)),
+        ],
+        Event::SplitDecision(e) => vec![
+            ("total".into(), Json::Num(e.total as f64)),
+            ("local".into(), Json::Arr(e.local.iter().map(|&b| Json::Num(b as f64)).collect())),
+            ("predicted_t".into(), e.predicted_t.map_or(Json::Null, Json::num)),
+            ("source".into(), Json::Str(e.source.as_str().into())),
+        ],
+        Event::GnsEstimated(e) => vec![
+            ("b_noise".into(), Json::num(e.b_noise)),
+            ("grad_sq".into(), Json::num(e.grad_sq)),
+            ("variance".into(), Json::num(e.variance)),
+            ("weights".into(), Json::Arr(e.weights.iter().map(|&w| Json::num(w)).collect())),
+        ],
+        Event::GoodputEval(e) => vec![
+            ("phi".into(), Json::num(e.phi)),
+            ("total".into(), Json::Num(e.total as f64)),
+            ("goodput".into(), Json::num(e.goodput)),
+            ("accumulation".into(), Json::Num(e.accumulation as f64)),
+            ("candidates".into(), Json::Num(f64::from(e.candidates))),
+            ("cache_rebuilt".into(), Json::Bool(e.cache_rebuilt)),
+        ],
+        Event::AllReduceBucket(e) => vec![
+            ("bucket".into(), Json::Num(f64::from(e.bucket))),
+            ("elems".into(), Json::Num(e.elems as f64)),
+            ("wall_ns".into(), Json::Num(e.wall_ns as f64)),
+        ],
+        Event::SolverInvocation(e) => vec![
+            ("wall_ns".into(), Json::Num(e.wall_ns as f64)),
+            ("total".into(), Json::Num(e.total as f64)),
+            ("candidates".into(), Json::Num(f64::from(e.candidates))),
+            ("solves".into(), Json::Num(f64::from(e.solves))),
+            ("boundary".into(), Json::Num(f64::from(e.boundary))),
+        ],
+        Event::Counter(e) => vec![
+            ("name".into(), Json::Str(e.name.clone())),
+            ("value".into(), Json::num(e.value)),
+        ],
+        Event::SpanBegin(e) | Event::SpanEnd(e) => vec![("name".into(), Json::Str(e.name.clone()))],
+    }
+}
+
+fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
+    match kind {
+        "step_timing" => Ok(Event::StepTiming(StepTiming {
+            step: req_u64(v, "step")?,
+            rank: req_u64(v, "rank_field")? as u32,
+            b_i: req_u64(v, "b_i")?,
+            t_compute: req_f64(v, "t_compute")?,
+            t_comm: req_f64(v, "t_comm")?,
+            overlap: req_f64(v, "overlap")?,
+        })),
+        "split_decision" => {
+            let local = v
+                .get("local")
+                .and_then(Json::as_array)
+                .ok_or("missing `local`")?
+                .iter()
+                .map(|item| item.as_u64().ok_or("non-integer local batch"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            let predicted_t = match v.get("predicted_t") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_f64().ok_or("mistyped `predicted_t`")?),
+            };
+            let source = v
+                .get("source")
+                .and_then(Json::as_str)
+                .and_then(SplitSource::parse)
+                .ok_or("missing or unknown `source`")?;
+            Ok(Event::SplitDecision(SplitDecision { total: req_u64(v, "total")?, local, predicted_t, source }))
+        }
+        "gns_estimate" => {
+            let weights = v
+                .get("weights")
+                .and_then(Json::as_array)
+                .ok_or("missing `weights`")?
+                .iter()
+                .map(|item| item.as_f64().ok_or("non-number weight"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(Event::GnsEstimated(GnsEstimated {
+                b_noise: req_f64(v, "b_noise")?,
+                grad_sq: req_f64(v, "grad_sq")?,
+                variance: req_f64(v, "variance")?,
+                weights,
+            }))
+        }
+        "goodput_eval" => Ok(Event::GoodputEval(GoodputEval {
+            phi: req_f64(v, "phi")?,
+            total: req_u64(v, "total")?,
+            goodput: req_f64(v, "goodput")?,
+            accumulation: req_u64(v, "accumulation")?,
+            candidates: req_u64(v, "candidates")? as u32,
+            cache_rebuilt: v.get("cache_rebuilt").and_then(Json::as_bool).ok_or("missing `cache_rebuilt`")?,
+        })),
+        "all_reduce_bucket" => Ok(Event::AllReduceBucket(AllReduceBucket {
+            bucket: req_u64(v, "bucket")? as u32,
+            elems: req_u64(v, "elems")?,
+            wall_ns: req_u64(v, "wall_ns")?,
+        })),
+        "solver_invocation" => Ok(Event::SolverInvocation(SolverInvocation {
+            wall_ns: req_u64(v, "wall_ns")?,
+            total: req_u64(v, "total")?,
+            candidates: req_u64(v, "candidates")? as u32,
+            solves: req_u64(v, "solves")? as u32,
+            boundary: req_u64(v, "boundary")? as u32,
+        })),
+        "counter" => Ok(Event::Counter(Counter { name: req_str(v, "name")?, value: req_f64(v, "value")? })),
+        "span_begin" => Ok(Event::SpanBegin(Span { name: req_str(v, "name")? })),
+        "span_end" => Ok(Event::SpanEnd(Span { name: req_str(v, "name")? })),
+        other => Err(format!("unknown event type `{other}`")),
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing or mistyped `{key}`"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Json::Null) => Ok(f64::NAN), // non-finite values export as null
+        Some(j) => j.as_f64().ok_or_else(|| format!("mistyped `{key}`")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key).and_then(Json::as_str).map(str::to_string).ok_or_else(|| format!("missing or mistyped `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every event type, with awkward values included.
+    pub(crate) fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::StepTiming(StepTiming { step: 7, rank: 2, b_i: 96, t_compute: 0.125, t_comm: 0.03125, overlap: 0.5 }),
+            Event::SplitDecision(SplitDecision {
+                total: 128,
+                local: vec![64, 40, 24],
+                predicted_t: Some(0.75),
+                source: SplitSource::Solver,
+            }),
+            Event::SplitDecision(SplitDecision { total: 3, local: vec![1, 1, 1], predicted_t: None, source: SplitSource::EvenInit }),
+            Event::GnsEstimated(GnsEstimated { b_noise: 310.5, grad_sq: 2.0, variance: 621.0, weights: vec![0.5, 0.25, 0.25] }),
+            Event::GoodputEval(GoodputEval { phi: 300.0, total: 512, goodput: 123.5, accumulation: 2, candidates: 13, cache_rebuilt: true }),
+            Event::AllReduceBucket(AllReduceBucket { bucket: 3, elems: 4096, wall_ns: 1_250_000 }),
+            Event::SolverInvocation(SolverInvocation { wall_ns: 42_000, total: 256, candidates: 1, solves: 5, boundary: 2 }),
+            Event::Counter(Counter { name: "epoch_time_s".into(), value: 12.5 }),
+            Event::SpanBegin(Span { name: "epoch".into() }),
+            Event::SpanEnd(Span { name: "epoch".into() }),
+        ]
+    }
+
+    #[test]
+    fn every_event_type_round_trips_through_json() {
+        for (i, event) in one_of_each().into_iter().enumerate() {
+            let record = Record { ts_ns: 1_000 + i as u64, node: 1, rank: i as u32, event };
+            let line = record.to_jsonl_line();
+            let parsed = Json::parse(&line).expect("valid JSON line");
+            let back = Record::from_json(&parsed).expect("round trip");
+            assert_eq!(back, record, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn nan_fields_export_as_null_and_parse_as_nan() {
+        let record = Record {
+            ts_ns: 5,
+            node: 0,
+            rank: 0,
+            event: Event::StepTiming(StepTiming { step: 0, rank: 0, b_i: 8, t_compute: 0.1, t_comm: f64::NAN, overlap: 0.0 }),
+        };
+        let line = record.to_jsonl_line();
+        assert!(line.contains("\"t_comm\":null"), "{line}");
+        let back = Record::from_json(&Json::parse(&line).unwrap()).unwrap();
+        match back.event {
+            Event::StepTiming(t) => assert!(t.t_comm.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds: std::collections::HashSet<&str> = one_of_each().iter().map(Event::kind).collect();
+        assert_eq!(kinds.len(), 9);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let parsed = Json::parse(r#"{"ts_ns":1,"node":0,"rank":0,"type":"mystery"}"#).unwrap();
+        assert!(Record::from_json(&parsed).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! The global low-overhead event recorder.
+//!
+//! Design:
+//!
+//! * One process-global recorder behind a [`Session`] guard. Telemetry is
+//!   **off** by default; the only cost an instrumented call site pays while
+//!   off is a single `Relaxed` atomic load (see the `telemetry` criterion
+//!   bench).
+//! * Emitting threads buffer records in a thread-local `Vec` and flush to a
+//!   shared `parking_lot`-guarded sink every [`FLUSH_THRESHOLD`] events and
+//!   on thread exit, so the mutex is touched once per batch rather than per
+//!   event.
+//! * Sessions are serialized by a global lock and tagged with a generation
+//!   counter. A thread-local buffer left over from a previous session is
+//!   discarded at the next emit/flush instead of leaking stale events into
+//!   the new session.
+//! * [`Session::drain`] flushes the calling thread, takes the sink, and
+//!   stable-sorts by timestamp — per-thread emission order is preserved
+//!   because each thread's timestamps are monotone. Join worker threads
+//!   before draining; their buffers flush when they exit.
+
+use crate::event::{Event, Record, Span};
+use parking_lot::{Mutex, MutexGuard};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Thread-local records buffered before touching the shared sink.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// The disabled-path flag. Deliberately a bare static (not inside the
+/// `OnceLock`) so `enabled()` is one load with no initialization check.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Session generation; bumped by every [`Session::start`].
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes sessions: at most one live [`Session`] per process.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+struct Shared {
+    start: Instant,
+    sink: Mutex<Vec<Record>>,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared { start: Instant::now(), sink: Mutex::new(Vec::new()) })
+}
+
+struct ThreadBuffer {
+    generation: u64,
+    node: u32,
+    rank: u32,
+    records: Vec<Record>,
+}
+
+impl ThreadBuffer {
+    const fn new() -> ThreadBuffer {
+        ThreadBuffer { generation: 0, node: 0, rank: 0, records: Vec::new() }
+    }
+
+    fn flush(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        if self.generation == GENERATION.load(Ordering::Acquire) && ENABLED.load(Ordering::Relaxed) {
+            shared().sink.lock().append(&mut self.records);
+        } else {
+            // Stale session: the drain that wanted these already happened.
+            self.records.clear();
+        }
+    }
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUFFER: RefCell<ThreadBuffer> = const { RefCell::new(ThreadBuffer::new()) };
+}
+
+/// Whether a session is live. The whole disabled-mode hot path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record one event on the calling thread. A no-op (one atomic load) when
+/// no session is live.
+#[inline]
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    emit_slow(event);
+}
+
+#[cold]
+fn emit_slow(event: Event) {
+    let sh = shared();
+    let ts_ns = sh.start.elapsed().as_nanos() as u64;
+    let generation = GENERATION.load(Ordering::Acquire);
+    BUFFER.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.generation != generation {
+            // First emit of a new session on this thread: drop leftovers.
+            buf.records.clear();
+            buf.generation = generation;
+        }
+        let (node, rank) = (buf.node, buf.rank);
+        buf.records.push(Record { ts_ns, node, rank, event });
+        if buf.records.len() >= FLUSH_THRESHOLD {
+            buf.flush();
+        }
+    });
+}
+
+/// Set the `(node, rank)` identity stamped on this thread's subsequent
+/// records (Chrome-trace `pid`/`tid`). Returns a guard restoring the
+/// previous identity on drop.
+pub fn set_thread_identity(node: u32, rank: u32) -> IdentityGuard {
+    BUFFER.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let prev = (buf.node, buf.rank);
+        buf.node = node;
+        buf.rank = rank;
+        IdentityGuard { prev }
+    })
+}
+
+/// Restores the thread identity that was active before
+/// [`set_thread_identity`].
+pub struct IdentityGuard {
+    prev: (u32, u32),
+}
+
+impl Drop for IdentityGuard {
+    fn drop(&mut self) {
+        BUFFER.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.node = self.prev.0;
+            buf.rank = self.prev.1;
+        });
+    }
+}
+
+/// Emit a named counter sample.
+#[inline]
+pub fn counter(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    emit_slow(Event::Counter(crate::event::Counter { name: name.to_string(), value }));
+}
+
+/// Open a span: emits `SpanBegin` now and `SpanEnd` when the guard drops.
+/// Inert when no session is live at open time.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name: None };
+    }
+    emit_slow(Event::SpanBegin(Span { name: name.to_string() }));
+    SpanGuard { name: Some(name.to_string()) }
+}
+
+/// Closes its span on drop. Spans nest per thread (close in reverse open
+/// order), which is what the Chrome-trace `B`/`E` format requires.
+pub struct SpanGuard {
+    name: Option<String>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            // The end is emitted even if the session closed mid-span; the
+            // generation check discards it in that case.
+            if enabled() {
+                emit_slow(Event::SpanEnd(Span { name }));
+            }
+        }
+    }
+}
+
+/// A live recording session. At most one exists per process at a time;
+/// [`Session::start`] blocks until the previous one drops. Dropping the
+/// session disables recording and discards anything not yet drained.
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Begin recording. Clears the sink, bumps the session generation
+    /// (orphaning any stale thread-local buffers), and enables emission.
+    pub fn start() -> Session {
+        let guard = SESSION_LOCK.lock();
+        shared().sink.lock().clear();
+        GENERATION.fetch_add(1, Ordering::Release);
+        ENABLED.store(true, Ordering::Release);
+        Session { _guard: guard }
+    }
+
+    /// Take everything recorded so far, ordered by timestamp (stable, so
+    /// per-thread order is preserved). Flushes the calling thread's buffer;
+    /// worker threads flush when they exit, so join them first.
+    pub fn drain(&self) -> Vec<Record> {
+        BUFFER.with(|cell| cell.borrow_mut().flush());
+        let mut records = std::mem::take(&mut *shared().sink.lock());
+        records.sort_by_key(|r| r.ts_ns);
+        records
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Release);
+        // Flush our own buffer through the generation check (discards it)
+        // and empty the sink so the next session starts clean regardless.
+        BUFFER.with(|cell| cell.borrow_mut().flush());
+        shared().sink.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Counter;
+
+    /// The harness runs tests on parallel threads; an `emit` outside any
+    /// session would otherwise land in a sibling test's live session.
+    /// Every test here takes this lock first (before `Session::start`, so
+    /// lock order is consistent).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn count_event(i: u64) -> Event {
+        Event::Counter(Counter { name: "t".to_string(), value: i as f64 })
+    }
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let _serial = TEST_LOCK.lock();
+        emit(count_event(1)); // no session live: must vanish
+        let session = Session::start();
+        emit(count_event(2));
+        let records = session.drain();
+        assert_eq!(records.len(), 1, "only the in-session event is kept");
+    }
+
+    #[test]
+    fn drain_returns_timestamp_sorted_records() {
+        let _serial = TEST_LOCK.lock();
+        let session = Session::start();
+        for i in 0..200 {
+            emit(count_event(i));
+        }
+        let records = session.drain();
+        assert_eq!(records.len(), 200);
+        assert!(records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // Same-thread emission order survives the stable sort.
+        let values: Vec<f64> = records
+            .iter()
+            .map(|r| match &r.event {
+                Event::Counter(c) => c.value,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sessions_isolate_their_events() {
+        let _serial = TEST_LOCK.lock();
+        {
+            let first = Session::start();
+            emit(count_event(1));
+            drop(first); // never drained: events must not leak
+        }
+        let second = Session::start();
+        emit(count_event(2));
+        let records = second.drain();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn identity_guard_restores_previous_identity() {
+        let _serial = TEST_LOCK.lock();
+        let session = Session::start();
+        emit(count_event(0));
+        {
+            let _id = set_thread_identity(3, 7);
+            emit(count_event(1));
+        }
+        emit(count_event(2));
+        let records = session.drain();
+        assert_eq!((records[0].node, records[0].rank), (0, 0));
+        assert_eq!((records[1].node, records[1].rank), (3, 7));
+        assert_eq!((records[2].node, records[2].rank), (0, 0));
+    }
+
+    #[test]
+    fn spans_pair_up_per_thread() {
+        let _serial = TEST_LOCK.lock();
+        let session = Session::start();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let records = session.drain();
+        let kinds: Vec<&str> = records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, ["span_begin", "span_begin", "span_end", "span_end"]);
+        match (&records[1].event, &records[2].event) {
+            (Event::SpanBegin(b), Event::SpanEnd(e)) => {
+                assert_eq!(b.name, "inner");
+                assert_eq!(e.name, "inner");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_emitters_flush_on_exit_and_keep_per_thread_order() {
+        let _serial = TEST_LOCK.lock();
+        let session = Session::start();
+        let threads: Vec<_> = (0..8u32)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let _id = set_thread_identity(t, t);
+                    for i in 0..500 {
+                        emit(count_event(u64::from(t) * 1_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let records = session.drain();
+        assert_eq!(records.len(), 8 * 500);
+        assert!(records.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // Within each emitting thread, values must appear in emission order.
+        for t in 0..8u32 {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.rank == t)
+                .map(|r| match &r.event {
+                    Event::Counter(c) => c.value,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert_eq!(values.len(), 500);
+            assert!(values.windows(2).all(|w| w[0] < w[1]), "thread {t} out of order");
+        }
+    }
+}

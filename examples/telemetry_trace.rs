@@ -1,0 +1,58 @@
+//! Record a short heterogeneous training run and export the event stream.
+//!
+//! ```text
+//! cargo run --release --example telemetry_trace
+//! ```
+//!
+//! Runs five Cannikin epochs of ResNet-18/CIFAR-10 on cluster B with the
+//! telemetry recorder enabled, then writes the drained stream twice:
+//! as a JSONL log (one event per line, for offline analysis) and as a
+//! Chrome `trace_event` file (load it in `chrome://tracing` or Perfetto
+//! to see the epoch/plan/simulate spans and per-rank step timings).
+//!
+//! If `CANNIKIN_TELEMETRY=jsonl:/path[,chrome:/path]` is set, the stream
+//! is additionally exported to those targets.
+
+use cannikin::core::engine::{CannikinTrainer, TrainerConfig};
+use cannikin::sim::Simulator;
+use cannikin::telemetry::{self, export};
+use cannikin::workloads::{clusters, profiles};
+
+fn main() {
+    let profile = profiles::cifar10_resnet18();
+    let cluster = clusters::cluster_b();
+    println!("{} on cluster {} ({} GPUs), 5 epochs, recording on\n", profile.name(), cluster.name, cluster.len());
+
+    let base = profile.base_batch.max(cluster.len() as u64);
+    let sim = Simulator::new(cluster, profile.job.clone(), 17);
+    let config = TrainerConfig::new(profile.dataset_size, base, profile.max_batch);
+    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+
+    let session = telemetry::Session::start();
+    let _identity = telemetry::set_thread_identity(0, 0);
+    trainer.run_epochs(5).expect("training run");
+    let records = session.drain();
+    drop(session);
+
+    println!("recorded {} events", records.len());
+    let steps = records.iter().filter(|r| r.event.kind() == "step_timing").count();
+    let splits = records.iter().filter(|r| r.event.kind() == "split_decision").count();
+    println!("  {steps} per-node step timings, {splits} split decisions\n");
+
+    let dir = std::env::temp_dir();
+    let jsonl_path = dir.join("cannikin_trace.jsonl");
+    let chrome_path = dir.join("cannikin_trace.chrome.json");
+    export::write_jsonl(&jsonl_path, &records).expect("write jsonl");
+    export::write_chrome_trace(&chrome_path, &records).expect("write chrome trace");
+    println!("JSONL log:    {}", jsonl_path.display());
+    println!("Chrome trace: {}  (open in chrome://tracing)", chrome_path.display());
+
+    match telemetry::export_from_env(&records) {
+        Ok(paths) => {
+            for p in paths {
+                println!("{}:   {}", telemetry::env::ENV_VAR, p.display());
+            }
+        }
+        Err(e) => eprintln!("{}: {e}", telemetry::env::ENV_VAR),
+    }
+}

@@ -18,6 +18,10 @@
 //!   and HetPipe-style comparison systems.
 //! - [`workloads`] (`cannikin-workloads`) — the paper's five evaluation
 //!   workload profiles and the clusters A/B/C used in the evaluation.
+//! - [`telemetry`] (`cannikin-telemetry`) — the workspace-wide observability
+//!   layer: a low-overhead structured-event recorder, histograms, and
+//!   JSONL / Chrome-trace exporters (enable file export with
+//!   `CANNIKIN_TELEMETRY=jsonl:/path[,chrome:/path]`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@
 pub use cannikin_baselines as baselines;
 pub use cannikin_collectives as collectives;
 pub use cannikin_core as core;
+pub use cannikin_telemetry as telemetry;
 pub use cannikin_workloads as workloads;
 pub use hetsim as sim;
 pub use minidnn as dnn;
