@@ -7,12 +7,14 @@
 mod ablations;
 mod discussion;
 mod figures;
+mod insight;
 mod tables;
 mod telemetry;
 
 pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic, multi_job};
 pub use discussion::{cluster_c_experiment, hetero_sweep};
 pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
+pub use insight::insight_run;
 pub use tables::{table1, table6, table_prediction};
 pub use telemetry::{summarize, telemetry_summary};
 
@@ -36,6 +38,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("accumulation", accumulation()),
         ("multi_job", multi_job()),
         ("telemetry", telemetry_summary()),
+        ("insight", insight_run()),
     ]
 }
 
@@ -59,6 +62,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "accumulation" => Some(accumulation()),
         "multi_job" => Some(multi_job()),
         "telemetry" => Some(telemetry_summary()),
+        "insight" => Some(insight_run()),
         _ => None,
     }
 }
@@ -83,5 +87,6 @@ pub fn ids() -> Vec<&'static str> {
         "accumulation",
         "multi_job",
         "telemetry",
+        "insight",
     ]
 }

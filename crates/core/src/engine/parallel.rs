@@ -21,7 +21,8 @@ use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerf
 use crate::perf::{Analyzer, MeasurementAggregation};
 
 use cannikin_collectives::CommGroup;
-use cannikin_telemetry::{self as telemetry, Event, SplitDecision, SplitSource, StepTiming};
+use cannikin_insight::{HealthReport, Monitor};
+use cannikin_telemetry::{self as telemetry, AnomalyKind, Event, SplitDecision, SplitSource, StepTiming};
 use hetsim::trace::{BatchTrace, NodeObservation};
 use minidnn::data::ClassificationDataset;
 use minidnn::layers::{assign_grads_from, flatten_grads_into, flatten_values, zero_grads, Layer, Sequential};
@@ -101,6 +102,7 @@ pub struct ParallelTrainer {
     epoch: usize,
     last_split: Vec<u64>,
     model_factory: Arc<dyn Fn(u64) -> Sequential + Send + Sync>,
+    monitor: Option<Monitor>,
 }
 
 impl ParallelTrainer {
@@ -133,7 +135,21 @@ impl ParallelTrainer {
             weights,
             config,
             model_factory: Arc::new(model_factory),
+            monitor: None,
         }
+    }
+
+    /// Attach an online [`Monitor`]: after every epoch the trainer drains
+    /// its fresh anomalies, records a `health_anomalies` counter, and
+    /// discards the compute-law observations of any rank flagged as a
+    /// straggler so the next epochs re-profile it via the bootstrap path.
+    pub fn attach_monitor(&mut self, monitor: Monitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// The attached monitor's current health report, if one is installed.
+    pub fn health(&self) -> Option<HealthReport> {
+        self.monitor.as_ref().map(|m| m.report())
     }
 
     /// Smoothed gradient noise scale, if available.
@@ -272,6 +288,7 @@ impl ParallelTrainer {
         for est in &rank_outputs[0].gns_estimates {
             self.tracker.observe(*est);
         }
+        self.apply_health(n);
 
         // ---- Evaluate and roll state forward. ----
         let rank0 = rank_outputs.swap_remove(0);
@@ -295,6 +312,32 @@ impl ParallelTrainer {
         self.epoch += 1;
         self.last_split = local;
         report
+    }
+
+    /// End-of-epoch health pass. The rank threads have already joined (and
+    /// flushed their telemetry buffers to the monitor on thread exit), so
+    /// only the driver thread's buffer — holding this epoch's
+    /// `SplitDecision` — still needs a flush before the verdicts are read.
+    fn apply_health(&mut self, n: usize) {
+        let Some(monitor) = &self.monitor else { return };
+        telemetry::flush_thread();
+        let fresh = monitor.drain_new();
+        if fresh.is_empty() {
+            return;
+        }
+        telemetry::counter("health_anomalies", fresh.len() as f64);
+        let mut flagged: Vec<u32> = fresh
+            .iter()
+            .filter(|a| a.kind == AnomalyKind::Straggler)
+            .filter_map(|a| a.node)
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        for node in flagged {
+            if (node as usize) < n {
+                self.analyzer.reset_node(node as usize);
+            }
+        }
     }
 
     /// Goodput-style total-batch pick over a tiny candidate grid (the

@@ -7,7 +7,8 @@ use crate::goodput::GoodputEngine;
 use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
 
-use cannikin_telemetry::{self as telemetry, Event, SplitDecision, SplitSource};
+use cannikin_insight::{HealthReport, Monitor};
+use cannikin_telemetry::{self as telemetry, AnomalyKind, Event, SplitDecision, SplitSource};
 use hetsim::Simulator;
 use std::time::Instant;
 
@@ -60,6 +61,7 @@ pub struct CannikinTrainer {
     cumulative_time: f64,
     last_local: Vec<u64>,
     warm_started: bool,
+    monitor: Option<Monitor>,
 }
 
 impl CannikinTrainer {
@@ -85,7 +87,23 @@ impl CannikinTrainer {
             cumulative_time: 0.0,
             last_local: Vec::new(),
             warm_started: false,
+            monitor: None,
         }
+    }
+
+    /// Attach an online [`Monitor`]: at the end of every epoch the trainer
+    /// drains its fresh anomalies, records a `health_anomalies` counter,
+    /// and forces a re-profile of any node the monitor flagged as a
+    /// straggler (its compute-law observations are discarded, so the next
+    /// epoch falls back to the Eq. (8) bootstrap and re-measures before
+    /// the OptPerf model re-engages).
+    pub fn attach_monitor(&mut self, monitor: Monitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// The attached monitor's current health report, if one is installed.
+    pub fn health(&self) -> Option<HealthReport> {
+        self.monitor.as_ref().map(|m| m.report())
     }
 
     /// Warm-start from a checkpointed model (a `SolverInput` saved from a
@@ -250,6 +268,7 @@ impl CannikinTrainer {
 
         telemetry::counter("epoch_time_s", epoch_time);
         telemetry::counter("overhead_s", overhead_seconds);
+        self.apply_health(n);
 
         let efficiency = statistical_efficiency(phi, self.config.base_batch, total);
         let effective = steps as f64 * total as f64 * efficiency / self.config.dataset_size as f64;
@@ -274,6 +293,35 @@ impl CannikinTrainer {
         self.epoch += 1;
         self.last_local = local;
         Ok(record)
+    }
+
+    /// End-of-epoch health pass: flush this thread's telemetry buffer so
+    /// the monitor has seen everything the epoch emitted, then act on the
+    /// verdicts. A straggler flag means the node's fitted `t = c·b + d`
+    /// law no longer matches reality (e.g. the §6 contention scenario), so
+    /// trusting the learned model would keep handing it an oversized
+    /// share; clearing its observations makes `solver_input()` fail and
+    /// routes the next epochs through the bootstrap re-profiling path.
+    fn apply_health(&mut self, n: usize) {
+        let Some(monitor) = &self.monitor else { return };
+        telemetry::flush_thread();
+        let fresh = monitor.drain_new();
+        if fresh.is_empty() {
+            return;
+        }
+        telemetry::counter("health_anomalies", fresh.len() as f64);
+        let mut flagged: Vec<u32> = fresh
+            .iter()
+            .filter(|a| a.kind == AnomalyKind::Straggler)
+            .filter_map(|a| a.node)
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        for node in flagged {
+            if (node as usize) < n {
+                self.analyzer.reset_node(node as usize);
+            }
+        }
     }
 
     /// Run `n` epochs.

@@ -262,6 +262,21 @@ impl Analyzer {
         Ok(NodePerf { q, s, k, m, max_batch: self.max_batches[node] })
     }
 
+    /// Discard one node's learned compute model — the hook an external
+    /// monitor (e.g. a `cannikin-insight` straggler detector) uses to force
+    /// a re-profile: with the history cleared, [`Analyzer::node_model`]
+    /// reports not-ready, the engine falls back to the Eq. (8) bootstrap,
+    /// and the node is relearned in its new regime. The smoothed per-sample
+    /// time is kept (the bootstrap divides by it, and it keeps tracking the
+    /// node's current speed), as are the cluster-wide communication fusers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn reset_node(&mut self, node: usize) {
+        self.nodes[node].by_batch.clear();
+    }
+
     /// Most recent per-sample compute time of a node (drives Eq. (8)).
     pub fn per_sample_time(&self, node: usize) -> Option<f64> {
         self.nodes[node].last_per_sample

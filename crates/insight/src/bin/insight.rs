@@ -1,0 +1,57 @@
+//! `cannikin-insight` — replay a recorded JSONL telemetry trace.
+//!
+//! ```text
+//! cannikin-insight <trace.jsonl> [--only-rank N]
+//! ```
+//!
+//! Loads the trace (as exported via `CANNIKIN_TELEMETRY=jsonl:/path` or
+//! `telemetry::export::write_jsonl`), reconstructs per-node and per-plan
+//! timelines, reruns the online detectors offline, and prints the
+//! calibration + anomaly report. Exits 0 when the trace is healthy, 1 on
+//! usage or parse errors, 2 when anomalies were found (so scripts can
+//! gate on run health).
+
+use cannikin_insight::{replay, InsightConfig};
+use cannikin_telemetry::export::parse_jsonl;
+use std::process::ExitCode;
+
+fn run() -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut config = InsightConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only-rank" => {
+                let value = args.next().ok_or("--only-rank needs a value")?;
+                let rank = value.parse::<u32>().map_err(|e| format!("bad --only-rank `{value}`: {e}"))?;
+                config.only_rank = Some(rank);
+            }
+            "--help" | "-h" => {
+                println!("usage: cannikin-insight <trace.jsonl> [--only-rank N]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: cannikin-insight <trace.jsonl> [--only-rank N]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let records = parse_jsonl(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    let report = replay::analyze(&records, config);
+    print!("{}", report.render());
+    if report.offline.is_empty() && report.online.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(2))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("cannikin-insight: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The `cannikin-insight` replay CLI, driven as a real subprocess: exit
+//! codes gate on run health (0 healthy, 1 usage/parse error, 2 anomalies)
+//! and the report text carries the detector verdicts.
+
+use cannikin_telemetry::export::write_jsonl;
+use cannikin_telemetry::{Event, Record, StepTiming};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn timing(step: u64, b: u64, t: f64) -> Event {
+    Event::StepTiming(StepTiming { step, rank: 0, b_i: b, t_compute: t, t_comm: 0.0, overlap: 0.0 })
+}
+
+/// A synthetic single-node trace following `t = 0.01·b + 0.05`, with
+/// `slow_steps` trailing steps at twice the law.
+fn trace(name: &str, slow_steps: u64) -> PathBuf {
+    let law = |b: f64| 0.01 * b + 0.05;
+    let mut records = Vec::new();
+    let mut step = 0u64;
+    for _ in 0..8 {
+        for b in [32u64, 48] {
+            records.push(Record { ts_ns: step * 1_000, node: 0, rank: 0, event: timing(step, b, law(b as f64)) });
+            step += 1;
+        }
+    }
+    for _ in 0..slow_steps {
+        records.push(Record {
+            ts_ns: step * 1_000,
+            node: 0,
+            rank: 0,
+            event: timing(step, 32, 2.0 * law(32.0)),
+        });
+        step += 1;
+    }
+    let dir = std::env::temp_dir().join("cannikin-insight-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    write_jsonl(&path, &records).expect("write trace");
+    path
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_insight")).args(args).output().expect("spawn CLI");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn healthy_trace_exits_zero_with_exact_agreement() {
+    let path = trace("healthy.jsonl", 0);
+    let (code, stdout, _) = run(&[path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("agreement: EXACT"), "{stdout}");
+    assert!(stdout.contains("step_timing"), "{stdout}");
+}
+
+#[test]
+fn straggling_trace_exits_two_and_names_the_straggler() {
+    let path = trace("straggler.jsonl", 4);
+    let (code, stdout, _) = run(&[path.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("straggler"), "{stdout}");
+}
+
+#[test]
+fn usage_and_parse_errors_exit_one() {
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let dir = std::env::temp_dir().join("cannikin-insight-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let garbage = dir.join("garbage.jsonl");
+    std::fs::write(&garbage, "not json\n").expect("write garbage");
+    let (code, _, stderr) = run(&[garbage.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+}

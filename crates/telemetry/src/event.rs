@@ -132,6 +132,65 @@ pub struct SolverInvocation {
     pub boundary: u32,
 }
 
+/// The class of misbehavior an [`AnomalyDetected`] event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// A node's observed compute time left the band of its fitted
+    /// `t = c·b + d` law for several consecutive steps.
+    Straggler,
+    /// The realized batch time drifted beyond the calibration band around
+    /// the solver's `SplitDecision::predicted_t`.
+    CalibrationDrift,
+    /// The gradient-noise-scale series jumped relative to its smoothed
+    /// trajectory.
+    GnsDrift,
+    /// One all-reduce bucket is persistently slower per element than the
+    /// cluster-wide average.
+    BucketImbalance,
+}
+
+impl AnomalyKind {
+    /// Stable string tag (the `kind` field of the JSONL form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::Straggler => "straggler",
+            AnomalyKind::CalibrationDrift => "calibration_drift",
+            AnomalyKind::GnsDrift => "gns_drift",
+            AnomalyKind::BucketImbalance => "bucket_imbalance",
+        }
+    }
+
+    fn parse(s: &str) -> Option<AnomalyKind> {
+        match s {
+            "straggler" => Some(AnomalyKind::Straggler),
+            "calibration_drift" => Some(AnomalyKind::CalibrationDrift),
+            "gns_drift" => Some(AnomalyKind::GnsDrift),
+            "bucket_imbalance" => Some(AnomalyKind::BucketImbalance),
+            _ => None,
+        }
+    }
+}
+
+/// A detector's verdict that the run left its expected envelope (emitted
+/// by `cannikin-insight` monitors, online or during offline replay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyDetected {
+    /// What kind of anomaly fired.
+    pub kind: AnomalyKind,
+    /// Affected node, when the anomaly is node-scoped (`None` for
+    /// cluster-wide anomalies such as calibration or GNS drift).
+    pub node: Option<u32>,
+    /// Step index of the triggering observation.
+    pub step: u64,
+    /// What the detector's model expected (seconds, noise scale,
+    /// ns/element — unit depends on `kind`).
+    pub expected: f64,
+    /// What was observed instead (same unit as `expected`).
+    pub observed: f64,
+    /// `observed / expected` — the "how bad" scalar.
+    pub severity: f64,
+}
+
 /// A generic named counter sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Counter {
@@ -163,6 +222,9 @@ pub enum Event {
     AllReduceBucket(AllReduceBucket),
     /// One solver invocation.
     SolverInvocation(SolverInvocation),
+    /// A detector flagged a straggler, calibration drift, GNS jump or
+    /// bucket imbalance.
+    AnomalyDetected(AnomalyDetected),
     /// A named counter sample.
     Counter(Counter),
     /// A span opening.
@@ -182,6 +244,7 @@ impl Event {
             Event::GoodputEval(_) => "goodput_eval",
             Event::AllReduceBucket(_) => "all_reduce_bucket",
             Event::SolverInvocation(_) => "solver_invocation",
+            Event::AnomalyDetected(_) => "anomaly",
             Event::Counter(_) => "counter",
             Event::SpanBegin(_) => "span_begin",
             Event::SpanEnd(_) => "span_end",
@@ -279,6 +342,14 @@ pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
             ("solves".into(), Json::Num(f64::from(e.solves))),
             ("boundary".into(), Json::Num(f64::from(e.boundary))),
         ],
+        Event::AnomalyDetected(e) => vec![
+            ("kind".into(), Json::Str(e.kind.as_str().into())),
+            ("anomaly_node".into(), e.node.map_or(Json::Null, |n| Json::Num(f64::from(n)))),
+            ("step".into(), Json::Num(e.step as f64)),
+            ("expected".into(), Json::num(e.expected)),
+            ("observed".into(), Json::num(e.observed)),
+            ("severity".into(), Json::num(e.severity)),
+        ],
         Event::Counter(e) => vec![
             ("name".into(), Json::Str(e.name.clone())),
             ("value".into(), Json::num(e.value)),
@@ -351,6 +422,25 @@ fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
             solves: req_u64(v, "solves")? as u32,
             boundary: req_u64(v, "boundary")? as u32,
         })),
+        "anomaly" => {
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(AnomalyKind::parse)
+                .ok_or("missing or unknown `kind`")?;
+            let node = match v.get("anomaly_node") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_u64().ok_or("mistyped `anomaly_node`")? as u32),
+            };
+            Ok(Event::AnomalyDetected(AnomalyDetected {
+                kind,
+                node,
+                step: req_u64(v, "step")?,
+                expected: req_f64(v, "expected")?,
+                observed: req_f64(v, "observed")?,
+                severity: req_f64(v, "severity")?,
+            }))
+        }
         "counter" => Ok(Event::Counter(Counter { name: req_str(v, "name")?, value: req_f64(v, "value")? })),
         "span_begin" => Ok(Event::SpanBegin(Span { name: req_str(v, "name")? })),
         "span_end" => Ok(Event::SpanEnd(Span { name: req_str(v, "name")? })),
@@ -393,6 +483,22 @@ mod tests {
             Event::GoodputEval(GoodputEval { phi: 300.0, total: 512, goodput: 123.5, accumulation: 2, candidates: 13, cache_rebuilt: true }),
             Event::AllReduceBucket(AllReduceBucket { bucket: 3, elems: 4096, wall_ns: 1_250_000 }),
             Event::SolverInvocation(SolverInvocation { wall_ns: 42_000, total: 256, candidates: 1, solves: 5, boundary: 2 }),
+            Event::AnomalyDetected(AnomalyDetected {
+                kind: AnomalyKind::Straggler,
+                node: Some(2),
+                step: 17,
+                expected: 0.125,
+                observed: 0.5,
+                severity: 4.0,
+            }),
+            Event::AnomalyDetected(AnomalyDetected {
+                kind: AnomalyKind::CalibrationDrift,
+                node: None,
+                step: 0,
+                expected: 0.75,
+                observed: 1.5,
+                severity: 2.0,
+            }),
             Event::Counter(Counter { name: "epoch_time_s".into(), value: 12.5 }),
             Event::SpanBegin(Span { name: "epoch".into() }),
             Event::SpanEnd(Span { name: "epoch".into() }),
@@ -430,7 +536,7 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds: std::collections::HashSet<&str> = one_of_each().iter().map(Event::kind).collect();
-        assert_eq!(kinds.len(), 9);
+        assert_eq!(kinds.len(), 10);
     }
 
     #[test]

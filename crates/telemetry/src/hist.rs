@@ -10,6 +10,19 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Error returned by [`Histogram::merge`] when the two histograms were
+/// built with different bucket layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutMismatch;
+
+impl std::fmt::Display for LayoutMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("can only merge histograms with identical bucket layouts")
+    }
+}
+
+impl std::error::Error for LayoutMismatch {}
+
 /// A histogram over `f64` samples with immutable bucket bounds.
 ///
 /// Bucket `i` covers `[bound[i-1], bound[i])` (with an implicit lower
@@ -144,20 +157,20 @@ impl Histogram {
 
     /// Add another histogram's counts into this one.
     ///
-    /// # Panics
-    ///
-    /// Panics if the two layouts differ.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert!(
-            self.min == other.min && self.bounds == other.bounds,
-            "can only merge histograms with identical bucket layouts"
-        );
+    /// Merging is only meaningful bucket-by-bucket, so the two layouts
+    /// (`min` and every bound) must be identical; otherwise `self` is left
+    /// untouched and a [`LayoutMismatch`] is returned.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), LayoutMismatch> {
+        if self.min != other.min || self.bounds != other.bounds {
+            return Err(LayoutMismatch);
+        }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.sum += other.sum;
+        Ok(())
     }
 
     /// Samples that fell at or above the last bound.
@@ -221,7 +234,7 @@ mod tests {
             b.record(5.0 + i as f64 % 5.0);
         }
         let a_only_median = a.quantile(0.5).unwrap();
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.count(), 100);
         let merged_median = a.quantile(0.5).unwrap();
         assert!(merged_median > a_only_median, "merge should pull the median up");
@@ -230,11 +243,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "identical bucket layouts")]
-    fn merging_mismatched_layouts_panics() {
+    fn merging_mismatched_layouts_is_rejected() {
         let mut a = Histogram::linear(0.0, 10.0, 10);
-        let b = Histogram::linear(0.0, 20.0, 10);
-        a.merge(&b);
+        a.record(1.0);
+        let snapshot = a.clone();
+        // Different bounds.
+        assert_eq!(a.merge(&Histogram::linear(0.0, 20.0, 10)), Err(LayoutMismatch));
+        // Same bounds, different min.
+        assert_eq!(a.merge(&Histogram::with_bounds(-1.0, (1..=10).map(f64::from).collect())), Err(LayoutMismatch));
+        // Different bucket count.
+        assert_eq!(a.merge(&Histogram::linear(0.0, 10.0, 5)), Err(LayoutMismatch));
+        assert_eq!(a, snapshot, "failed merge must leave the target untouched");
+    }
+
+    #[test]
+    fn merging_empty_histograms_is_a_noop() {
+        let mut a = Histogram::linear(0.0, 10.0, 10);
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&Histogram::linear(0.0, 10.0, 10)).unwrap();
+        assert_eq!(a, before);
+        // Empty ← non-empty adopts the source's contents.
+        let mut empty = Histogram::linear(0.0, 10.0, 10);
+        empty.merge(&a).unwrap();
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.quantile(0.5), a.quantile(0.5));
+    }
+
+    #[test]
+    fn single_bucket_histogram_quantiles_are_monotone() {
+        let mut h = Histogram::with_bounds(0.0, vec![10.0]);
+        for s in [1.0, 5.0, 9.0] {
+            h.record(s);
+        }
+        let qs: Vec<f64> =
+            [0.0, 0.25, 0.5, 0.75, 1.0].iter().map(|&q| h.quantile(q).unwrap()).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must be monotone: {qs:?}");
+        assert!(qs.iter().all(|&v| (0.0..=10.0).contains(&v)));
+    }
+
+    #[test]
+    fn overflow_only_histogram_clamps_quantiles_to_last_bound() {
+        let mut h = Histogram::linear(0.0, 10.0, 4);
+        for _ in 0..5 {
+            h.record(100.0);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.overflow(), 5);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q).unwrap(), 10.0, "overflow-only clamps to last bound");
+        }
+        // Merging two overflow-only histograms keeps the clamp and the counts.
+        let mut other = Histogram::linear(0.0, 10.0, 4);
+        other.record(50.0);
+        h.merge(&other).unwrap();
+        assert_eq!(h.overflow(), 6);
+        assert_eq!(h.quantile(0.5).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn underflow_only_histogram_clamps_quantiles_to_min() {
+        let mut h = Histogram::linear(5.0, 10.0, 4);
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.underflow(), 2);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q).unwrap(), 5.0, "underflow-only clamps to min");
+        }
     }
 
     #[test]

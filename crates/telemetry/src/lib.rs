@@ -48,9 +48,12 @@ pub mod trace;
 
 pub use env::{export_from_env, export_to, parse_targets, ExportTarget};
 pub use event::{
-    AllReduceBucket, Counter, Event, GnsEstimated, GoodputEval, Record, SolverInvocation, Span, SplitDecision,
-    SplitSource, StepTiming,
+    AllReduceBucket, AnomalyDetected, AnomalyKind, Counter, Event, GnsEstimated, GoodputEval, Record,
+    SolverInvocation, Span, SplitDecision, SplitSource, StepTiming,
 };
-pub use hist::Histogram;
+pub use hist::{Histogram, LayoutMismatch};
 pub use json::Json;
-pub use recorder::{counter, emit, enabled, set_thread_identity, span, IdentityGuard, Session, SpanGuard};
+pub use recorder::{
+    counter, emit, enabled, flush_thread, inject, set_thread_identity, span, subscribe, IdentityGuard, Session,
+    SpanGuard, Subscriber, SubscriberGuard,
+};

@@ -18,12 +18,19 @@
 //!   stable-sorts by timestamp — per-thread emission order is preserved
 //!   because each thread's timestamps are monotone. Join worker threads
 //!   before draining; their buffers flush when they exit.
+//! * Registered [`Subscriber`]s tap the sink: every flushed batch is
+//!   handed to each subscriber exactly once, in flush order (per-thread
+//!   emission order within a batch). Subscribers that want to add records
+//!   of their own (e.g. the `cannikin-insight` monitor emitting anomaly
+//!   events) must use [`inject`], which bypasses the thread-local buffer —
+//!   calling [`emit`] from inside a callback running during a thread-exit
+//!   flush would touch a thread-local mid-destruction.
 
 use crate::event::{Event, Record, Span};
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Thread-local records buffered before touching the shared sink.
@@ -42,11 +49,64 @@ static SESSION_LOCK: Mutex<()> = Mutex::new(());
 struct Shared {
     start: Instant,
     sink: Mutex<Vec<Record>>,
+    subscribers: Mutex<Vec<(u64, Arc<dyn Subscriber>)>>,
 }
 
 fn shared() -> &'static Shared {
     static SHARED: OnceLock<Shared> = OnceLock::new();
-    SHARED.get_or_init(|| Shared { start: Instant::now(), sink: Mutex::new(Vec::new()) })
+    SHARED.get_or_init(|| Shared {
+        start: Instant::now(),
+        sink: Mutex::new(Vec::new()),
+        subscribers: Mutex::new(Vec::new()),
+    })
+}
+
+/// A tap on the recorder's sink: receives every flushed batch of records
+/// while registered (see [`subscribe`]).
+///
+/// Batches arrive in flush order; within one batch, records are in the
+/// emitting thread's emission order, and every record that reaches the
+/// sink is delivered exactly once. Callbacks run on the emitting thread
+/// (including during thread exit), so implementations must be cheap,
+/// must not block on locks held across `emit` calls, and must use
+/// [`inject`] — never [`emit`] — to add records of their own.
+pub trait Subscriber: Send + Sync {
+    /// Called with each flushed batch before it lands in the sink.
+    fn on_records(&self, batch: &[Record]);
+}
+
+/// Registers a subscriber; it receives batches until the returned guard
+/// drops. Subscribers persist across sessions (registration is a property
+/// of the process, not of the current [`Session`]).
+pub fn subscribe(subscriber: Arc<dyn Subscriber>) -> SubscriberGuard {
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    shared().subscribers.lock().push((id, subscriber));
+    SubscriberGuard { id }
+}
+
+/// Deregisters its subscriber on drop.
+pub struct SubscriberGuard {
+    id: u64,
+}
+
+impl Drop for SubscriberGuard {
+    fn drop(&mut self) {
+        shared().subscribers.lock().retain(|(id, _)| *id != self.id);
+    }
+}
+
+/// Hand a flushed batch to every subscriber, then append it to the sink.
+/// Notification happens first so the batch needn't be cloned; records a
+/// subscriber [`inject`]s land in the sink slightly before their triggers,
+/// and the drain's timestamp sort restores causal order.
+fn deliver(mut batch: Vec<Record>) {
+    let subscribers: Vec<Arc<dyn Subscriber>> =
+        shared().subscribers.lock().iter().map(|(_, s)| Arc::clone(s)).collect();
+    for subscriber in &subscribers {
+        subscriber.on_records(&batch);
+    }
+    shared().sink.lock().append(&mut batch);
 }
 
 struct ThreadBuffer {
@@ -61,22 +121,31 @@ impl ThreadBuffer {
         ThreadBuffer { generation: 0, node: 0, rank: 0, records: Vec::new() }
     }
 
-    fn flush(&mut self) {
+    /// Take the buffered records if they belong to the live session, or
+    /// discard them if the session they were recorded under is gone. The
+    /// caller must pass the result to [`deliver`] — splitting take from
+    /// delivery lets `emit_slow` release the `RefCell` borrow before any
+    /// subscriber callback runs (a callback may legitimately re-enter the
+    /// recorder via [`inject`]).
+    fn take_live_batch(&mut self) -> Option<Vec<Record>> {
         if self.records.is_empty() {
-            return;
+            return None;
         }
         if self.generation == GENERATION.load(Ordering::Acquire) && ENABLED.load(Ordering::Relaxed) {
-            shared().sink.lock().append(&mut self.records);
+            Some(std::mem::take(&mut self.records))
         } else {
             // Stale session: the drain that wanted these already happened.
             self.records.clear();
+            None
         }
     }
 }
 
 impl Drop for ThreadBuffer {
     fn drop(&mut self) {
-        self.flush();
+        if let Some(batch) = self.take_live_batch() {
+            deliver(batch);
+        }
     }
 }
 
@@ -105,7 +174,7 @@ fn emit_slow(event: Event) {
     let sh = shared();
     let ts_ns = sh.start.elapsed().as_nanos() as u64;
     let generation = GENERATION.load(Ordering::Acquire);
-    BUFFER.with(|cell| {
+    let batch = BUFFER.with(|cell| {
         let mut buf = cell.borrow_mut();
         if buf.generation != generation {
             // First emit of a new session on this thread: drop leftovers.
@@ -114,10 +183,40 @@ fn emit_slow(event: Event) {
         }
         let (node, rank) = (buf.node, buf.rank);
         buf.records.push(Record { ts_ns, node, rank, event });
-        if buf.records.len() >= FLUSH_THRESHOLD {
-            buf.flush();
-        }
+        if buf.records.len() >= FLUSH_THRESHOLD { buf.take_live_batch() } else { None }
     });
+    // Deliver outside the RefCell borrow: subscriber callbacks may call
+    // `inject`, and a re-entrant `emit` from a callback must not panic.
+    if let Some(batch) = batch {
+        deliver(batch);
+    }
+}
+
+/// Record one event directly to the sink, bypassing the thread-local
+/// buffer. This is the emission path for [`Subscriber`] callbacks: it is
+/// safe to call mid-flush and during thread exit (when the thread-local
+/// is being destroyed), and the record is visible to `drain` immediately.
+/// Injected records do NOT flow back through subscribers, so a subscriber
+/// injecting in response to every batch cannot feed back on itself.
+/// A no-op when no session is live.
+pub fn inject(node: u32, rank: u32, event: Event) {
+    if !enabled() {
+        return;
+    }
+    let sh = shared();
+    let ts_ns = sh.start.elapsed().as_nanos() as u64;
+    sh.sink.lock().push(Record { ts_ns, node, rank, event });
+}
+
+/// Flush the calling thread's buffered records to subscribers and the
+/// sink now, rather than waiting for the [`FLUSH_THRESHOLD`] or thread
+/// exit. Lets a driver thread present a consistent stream to online
+/// monitors at a step/epoch boundary.
+pub fn flush_thread() {
+    let batch = BUFFER.with(|cell| cell.borrow_mut().take_live_batch());
+    if let Some(batch) = batch {
+        deliver(batch);
+    }
 }
 
 /// Set the `(node, rank)` identity stamped on this thread's subsequent
@@ -209,7 +308,7 @@ impl Session {
     /// per-thread order is preserved). Flushes the calling thread's buffer;
     /// worker threads flush when they exit, so join them first.
     pub fn drain(&self) -> Vec<Record> {
-        BUFFER.with(|cell| cell.borrow_mut().flush());
+        flush_thread();
         let mut records = std::mem::take(&mut *shared().sink.lock());
         records.sort_by_key(|r| r.ts_ns);
         records
@@ -219,9 +318,10 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         ENABLED.store(false, Ordering::Release);
-        // Flush our own buffer through the generation check (discards it)
-        // and empty the sink so the next session starts clean regardless.
-        BUFFER.with(|cell| cell.borrow_mut().flush());
+        // Disabling first makes our own buffer stale: `flush_thread`
+        // discards it without notifying subscribers. Then empty the sink
+        // so the next session starts clean regardless.
+        flush_thread();
         shared().sink.lock().clear();
     }
 }
@@ -355,5 +455,93 @@ mod tests {
             assert_eq!(values.len(), 500);
             assert!(values.windows(2).all(|w| w[0] < w[1]), "thread {t} out of order");
         }
+    }
+
+    /// Counts records delivered and remembers batch sizes.
+    struct CountingSubscriber {
+        seen: Mutex<Vec<Record>>,
+    }
+
+    impl Subscriber for CountingSubscriber {
+        fn on_records(&self, batch: &[Record]) {
+            self.seen.lock().extend_from_slice(batch);
+        }
+    }
+
+    #[test]
+    fn subscriber_sees_every_record_exactly_once() {
+        let _serial = TEST_LOCK.lock();
+        let sub = Arc::new(CountingSubscriber { seen: Mutex::new(Vec::new()) });
+        let _guard = subscribe(sub.clone());
+        let session = Session::start();
+        for i in 0..(FLUSH_THRESHOLD as u64 * 2 + 7) {
+            emit(count_event(i));
+        }
+        flush_thread();
+        let drained = session.drain();
+        let seen = sub.seen.lock();
+        assert_eq!(seen.len(), drained.len());
+        // Same records, same per-thread order.
+        for (a, b) in seen.iter().zip(drained.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dropped_guard_stops_delivery() {
+        let _serial = TEST_LOCK.lock();
+        let sub = Arc::new(CountingSubscriber { seen: Mutex::new(Vec::new()) });
+        let guard = subscribe(sub.clone());
+        let session = Session::start();
+        emit(count_event(0));
+        flush_thread();
+        drop(guard);
+        emit(count_event(1));
+        flush_thread();
+        assert_eq!(session.drain().len(), 2);
+        assert_eq!(sub.seen.lock().len(), 1, "post-unsubscribe batch must not arrive");
+    }
+
+    /// Injects a marker record for every batch it sees — the monitor's
+    /// anomaly-emission pattern. Must not dead-lock or double-borrow even
+    /// though the callback runs inside the emitting thread's flush.
+    struct InjectingSubscriber;
+
+    impl Subscriber for InjectingSubscriber {
+        fn on_records(&self, batch: &[Record]) {
+            if batch.iter().any(|r| !matches!(r.event, Event::SpanBegin(_))) {
+                inject(9, 9, Event::SpanBegin(Span { name: "injected".to_string() }));
+            }
+        }
+    }
+
+    #[test]
+    fn subscriber_can_inject_records_mid_flush() {
+        let _serial = TEST_LOCK.lock();
+        let _guard = subscribe(Arc::new(InjectingSubscriber));
+        let session = Session::start();
+        for i in 0..(FLUSH_THRESHOLD as u64) {
+            emit(count_event(i));
+        }
+        // Threshold flush already fired inside the emit loop; a worker
+        // thread exercises the thread-exit flush path too.
+        std::thread::spawn(|| emit(count_event(1_000))).join().unwrap();
+        let records = session.drain();
+        let injected: Vec<&Record> =
+            records.iter().filter(|r| matches!(r.event, Event::SpanBegin(_))).collect();
+        assert_eq!(injected.len(), 2, "one injection per non-marker batch");
+        assert!(injected.iter().all(|r| r.node == 9 && r.rank == 9));
+        assert_eq!(records.len(), FLUSH_THRESHOLD + 1 + 2);
+    }
+
+    #[test]
+    fn inject_without_session_is_dropped() {
+        let _serial = TEST_LOCK.lock();
+        inject(0, 0, count_event(0));
+        let session = Session::start();
+        inject(1, 2, count_event(1));
+        let records = session.drain();
+        assert_eq!(records.len(), 1);
+        assert_eq!((records[0].node, records[0].rank), (1, 2));
     }
 }

@@ -4,7 +4,10 @@
 
 use cannikin_telemetry as telemetry;
 use std::collections::HashMap;
-use telemetry::{AllReduceBucket, Counter, Event, Json, Record, Session, SolverInvocation, StepTiming};
+use std::sync::Arc;
+use telemetry::{
+    AllReduceBucket, Counter, Event, Json, Record, Session, SolverInvocation, StepTiming, Subscriber,
+};
 
 /// Tests share the process and the global recorder; each takes this lock
 /// so an emit from one test can't land in another's session.
@@ -70,6 +73,74 @@ fn multithreaded_session_preserves_per_rank_step_order() {
             .collect();
         let expected: Vec<u64> = (0..20).collect();
         assert_eq!(steps, expected, "rank {rank} steps interleaved or lost");
+    }
+}
+
+/// A monitor-shaped subscriber: accumulates every record it is handed.
+struct TapSubscriber {
+    seen: parking_lot::Mutex<Vec<Record>>,
+}
+
+impl Subscriber for TapSubscriber {
+    fn on_records(&self, batch: &[Record]) {
+        self.seen.lock().extend_from_slice(batch);
+    }
+}
+
+#[test]
+fn subscriber_observes_concurrent_emitters_exactly_once_in_thread_order() {
+    let _serial = TEST_LOCK.lock();
+    let tap = Arc::new(TapSubscriber { seen: parking_lot::Mutex::new(Vec::new()) });
+    let _guard = telemetry::subscribe(tap.clone());
+    let session = Session::start();
+    let workers: Vec<_> = (0..8u32)
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let _id = telemetry::set_thread_identity(rank, rank);
+                for i in 0..500u64 {
+                    telemetry::emit(Event::Counter(Counter {
+                        name: "seq".to_string(),
+                        value: (u64::from(rank) * 1_000 + i) as f64,
+                    }));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let drained = session.drain();
+    assert_eq!(drained.len(), 8 * 500);
+
+    let seen = tap.seen.lock();
+    // Exactly once: the subscriber saw the same multiset the sink did.
+    assert_eq!(seen.len(), drained.len());
+    let mut seen_values: Vec<u64> = seen
+        .iter()
+        .map(|r| match &r.event {
+            Event::Counter(c) => c.value as u64,
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    seen_values.sort_unstable();
+    let expected: Vec<u64> =
+        (0..8u64).flat_map(|t| (0..500u64).map(move |i| t * 1_000 + i)).collect();
+    assert_eq!(seen_values, expected, "every event exactly once");
+
+    // Per-thread order: in the delivered stream, each rank's values are
+    // strictly increasing (batches arrive in flush order; records within a
+    // batch in emission order).
+    for rank in 0..8u32 {
+        let values: Vec<f64> = seen
+            .iter()
+            .filter(|r| r.rank == rank)
+            .map(|r| match &r.event {
+                Event::Counter(c) => c.value,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(values.len(), 500);
+        assert!(values.windows(2).all(|w| w[0] < w[1]), "rank {rank} delivered out of order");
     }
 }
 

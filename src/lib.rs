@@ -22,6 +22,10 @@
 //!   layer: a low-overhead structured-event recorder, histograms, and
 //!   JSONL / Chrome-trace exporters (enable file export with
 //!   `CANNIKIN_TELEMETRY=jsonl:/path[,chrome:/path]`).
+//! - [`insight`] (`cannikin-insight`) — online diagnostics over the
+//!   telemetry stream (straggler/calibration/GNS-drift/bucket-imbalance
+//!   detectors behind [`insight::Monitor`]) plus the `cannikin-insight`
+//!   trace-replay CLI that reruns the same detectors offline.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@
 pub use cannikin_baselines as baselines;
 pub use cannikin_collectives as collectives;
 pub use cannikin_core as core;
+pub use cannikin_insight as insight;
 pub use cannikin_telemetry as telemetry;
 pub use cannikin_workloads as workloads;
 pub use hetsim as sim;
