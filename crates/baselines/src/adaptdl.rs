@@ -116,6 +116,8 @@ impl AdaptdlTrainer {
             overhead_seconds,
             pattern: None,
             used_model: self.epoch >= 2,
+            faults: 0,
+            recoveries: 0,
         };
         self.epoch += 1;
         record

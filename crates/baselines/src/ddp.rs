@@ -68,9 +68,35 @@ impl DdpTrainer {
             overhead_seconds: 0.0,
             pattern: None,
             used_model: false,
+            faults: 0,
+            recoveries: 0,
         };
         self.epoch += 1;
         record
+    }
+
+    /// React to `node` crashing partway through an epoch.
+    ///
+    /// Static DDP cannot shrink a collective in flight: the process group
+    /// aborts, the partial epoch is discarded, and the scheduler restarts
+    /// the job on the survivors from the last epoch-boundary checkpoint.
+    /// `lost_fraction` (clamped to `0..=1`) is how far into the doomed
+    /// epoch the crash hit — that wall time is charged with zero
+    /// statistical progress — and `restart_overhead` covers detection,
+    /// rescheduling, checkpoint reload and process-group re-init.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or it is the last node standing.
+    pub fn handle_crash(&mut self, node: usize, lost_fraction: f64, restart_overhead: f64) {
+        let n = self.sim.cluster().len();
+        assert!(node < n, "node {node} out of range for {n}-node cluster");
+        assert!(n > 1, "cannot survive losing the last node");
+        let local = even_split(self.total_batch, n);
+        let steps = (self.dataset_size / self.total_batch as usize).max(1);
+        let lost = self.sim.ideal_batch_time(&local) * steps as f64 * lost_fraction.clamp(0.0, 1.0);
+        self.cumulative_time += lost + restart_overhead.max(0.0);
+        self.sim.remove_node(node);
     }
 
     /// Run until `target` effective epochs or `max_epochs`.
@@ -124,6 +150,21 @@ mod tests {
             assert_eq!(r.local_batches, vec![40, 40, 40]);
             assert!((r.efficiency - 1.0).abs() < 1e-12, "B = B0 gives unit efficiency");
         }
+    }
+
+    #[test]
+    fn crash_costs_wall_time_and_shrinks_the_split() {
+        let noise = Box::new(LinearNoiseGrowth { initial: 100.0, rate: 0.5 });
+        let mut t = DdpTrainer::new(sim(), noise, 10_000, 120, 120);
+        let before = t.run_epoch();
+        t.handle_crash(1, 0.5, 30.0);
+        let after = t.run_epoch();
+        assert_eq!(after.local_batches, vec![60, 60], "even split over the survivors");
+        // The lost half-epoch plus the restart round trip showed up as
+        // wall time without any effective-epoch progress.
+        let wall = after.cumulative_time - before.cumulative_time;
+        assert!(wall > after.epoch_time + 30.0 - 1e-9, "wall {wall} must include lost work + restart");
+        assert!(after.effective_epochs > before.effective_epochs);
     }
 
     #[test]

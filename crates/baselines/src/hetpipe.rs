@@ -146,6 +146,8 @@ impl HetPipeTrainer {
             overhead_seconds: 0.0,
             pattern: None,
             used_model: false,
+            faults: 0,
+            recoveries: 0,
         };
         self.epoch += 1;
         record

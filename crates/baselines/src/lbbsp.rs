@@ -125,6 +125,8 @@ impl LbBspTrainer {
             overhead_seconds: 0.0,
             pattern: None,
             used_model: false,
+            faults: 0,
+            recoveries: 0,
         };
         self.epoch += 1;
         self.adjust();

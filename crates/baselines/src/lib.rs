@@ -55,6 +55,8 @@ mod tests {
             overhead_seconds: 0.0,
             pattern: None,
             used_model: false,
+            faults: 0,
+            recoveries: 0,
         }
     }
 

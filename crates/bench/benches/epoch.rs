@@ -46,6 +46,8 @@ fn bench_parallel_epoch(c: &mut Criterion) {
                     base_lr: 0.05,
                     lr_scaler: LrScaler::AdaScale,
                     seed: 5,
+                    comm_faults: None,
+                    retry: Default::default(),
                 };
                 ParallelTrainer::new(ds, |seed| mlp_classifier(10, 16, 4, seed), config)
             },

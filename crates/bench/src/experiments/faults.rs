@@ -1,0 +1,81 @@
+//! Fault injection and elastic recovery (ISSUE 4): what a mid-training
+//! crash costs Cannikin versus a static, checkpoint-restart DDP job, and
+//! how the engine's recovery actions show up epoch by epoch.
+
+use crate::{fmt, row};
+use cannikin_baselines::{time_to_target, DdpTrainer};
+use cannikin_core::engine::{CannikinTrainer, NoiseModel, TrainerConfig};
+use cannikin_workloads::profiles;
+use hetsim::catalog::Gpu;
+use hetsim::cluster::{ClusterSpec, NodeSpec};
+use hetsim::{FaultPlan, Simulator};
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::new(
+        "faults",
+        vec![
+            NodeSpec::new("a100", Gpu::A100),
+            NodeSpec::new("v100", Gpu::V100),
+            NodeSpec::new("rtx", Gpu::Rtx6000),
+        ],
+    )
+}
+
+/// Crash recovery experiment: node 1 dies at step 150 of a fixed-batch
+/// run. Cannikin evicts it, re-solves the split over the survivors at the
+/// same total and keeps training; static DDP loses the half-finished
+/// epoch and pays a restart round trip before resuming on an even split.
+pub fn faults() -> String {
+    let profile = profiles::cifar10_resnet18();
+    let target = 3.0;
+    let dataset = 6_400;
+    let total = 64;
+
+    let plan = FaultPlan::new(77).crash_at(150, 1);
+    let sim = Simulator::new(cluster(), profile.job.clone(), 21).with_fault_plan(plan);
+    let mut config = TrainerConfig::new(dataset, total, 512);
+    config.adaptive_batch = false;
+    let noise: Box<dyn NoiseModel> = Box::new(profile.noise);
+    let mut cannikin = CannikinTrainer::new(sim, noise, config);
+    let records = cannikin.train_until(target, 60).expect("cannikin run");
+
+    let mut out = String::from("Fault injection — crash at step 150, node 1 (ResNet-18/CIFAR-10, fixed B=64)\n");
+    let widths = [6, 7, 8, 11, 16, 20];
+    out += &row(
+        &["epoch".into(), "nodes".into(), "faults".into(), "recoveries".into(), "batch time (s)".into(), "split".into()],
+        &widths,
+    );
+    out.push('\n');
+    for r in &records {
+        out += &row(
+            &[
+                r.epoch.to_string(),
+                r.local_batches.len().to_string(),
+                r.faults.to_string(),
+                r.recoveries.to_string(),
+                fmt(r.mean_batch_time),
+                format!("{:?}", r.local_batches),
+            ],
+            &widths,
+        );
+        out.push('\n');
+    }
+    let t_cannikin = time_to_target(&records, target).expect("cannikin reaches the target");
+
+    // Static DDP under the same crash: the half epoch in flight is lost
+    // and a 30 s restart round trip is charged before the survivors
+    // resume at an even split.
+    let sim = Simulator::new(cluster(), profile.job.clone(), 21);
+    let noise: Box<dyn NoiseModel> = Box::new(profile.noise);
+    let mut ddp = DdpTrainer::new(sim, noise, dataset, total, total);
+    let mut ddp_records = vec![ddp.run_epoch()];
+    ddp.handle_crash(1, 0.5, 30.0);
+    ddp_records.extend(ddp.train_until(target, 60));
+    let t_ddp = time_to_target(&ddp_records, target).expect("ddp reaches the target");
+
+    out += &format!("\ntime to {target} effective epochs:\n");
+    out += &format!("  cannikin (elastic recovery):    {}s\n", fmt(t_cannikin));
+    out += &format!("  static DDP (checkpoint restart): {}s\n", fmt(t_ddp));
+    out += &format!("  speedup: {:.2}x\n", t_ddp / t_cannikin);
+    out
+}

@@ -6,6 +6,7 @@
 
 mod ablations;
 mod discussion;
+mod faults;
 mod figures;
 mod insight;
 mod tables;
@@ -13,6 +14,7 @@ mod telemetry;
 
 pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic, multi_job};
 pub use discussion::{cluster_c_experiment, hetero_sweep};
+pub use faults::faults;
 pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
 pub use insight::insight_run;
 pub use tables::{table1, table6, table_prediction};
@@ -35,6 +37,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("ablation_overlap", ablation_overlap()),
         ("ablation_warm_start", ablation_warm_start()),
         ("elastic", elastic()),
+        ("faults", faults()),
         ("accumulation", accumulation()),
         ("multi_job", multi_job()),
         ("telemetry", telemetry_summary()),
@@ -59,6 +62,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "ablation_overlap" => Some(ablation_overlap()),
         "ablation_warm_start" => Some(ablation_warm_start()),
         "elastic" => Some(elastic()),
+        "faults" => Some(faults()),
         "accumulation" => Some(accumulation()),
         "multi_job" => Some(multi_job()),
         "telemetry" => Some(telemetry_summary()),
@@ -84,6 +88,7 @@ pub fn ids() -> Vec<&'static str> {
         "ablation_overlap",
         "ablation_warm_start",
         "elastic",
+        "faults",
         "accumulation",
         "multi_job",
         "telemetry",

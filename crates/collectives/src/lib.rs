@@ -13,7 +13,13 @@
 //! - [`Communicator::weighted_all_reduce`] — the batch-ratio-weighted
 //!   gradient aggregation of Eq. (9): `g = Σᵢ rᵢ gᵢ`;
 //! - broadcast / barrier / all-gather primitives for bootstrapping and
-//!   metric collection.
+//!   metric collection;
+//! - [`Communicator::all_reduce_sum_resilient`] and
+//!   [`Communicator::weighted_all_reduce_resilient`] — the fault-tolerant
+//!   path: per-receive timeouts, typed [`CommError`]s instead of panics,
+//!   and bounded retry with seeded-jitter exponential backoff
+//!   ([`RetryPolicy`]). Deterministic failures can be injected with a
+//!   shared [`CommFaultPlan`] (see [`CommGroup::create_faulty`]).
 //!
 //! Every rank runs on its own thread and owns one [`Communicator`]; the
 //! group is created up front with [`CommGroup::create`]. All collectives
@@ -42,8 +48,10 @@
 //! }
 //! ```
 
+mod resilience;
 mod ring;
 
+pub use resilience::{CommError, CommFaultPlan, RetryPolicy};
 pub use ring::{CommGroup, Communicator};
 
 /// Partition `total` gradient elements into `buckets` contiguous bucket

@@ -1,8 +1,12 @@
 //! Ring all-reduce over crossbeam channels.
 
-use cannikin_telemetry::{self as telemetry, AllReduceBucket, Event};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::resilience::{CommError, CommFaultPlan, RetryPolicy};
+use cannikin_telemetry::{self as telemetry, AllReduceBucket, Event, FaultInjected, FaultKind, RecoveryAction, RecoveryKind};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use std::cell::Cell;
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 /// Factory for a group of ring-connected [`Communicator`]s.
 #[derive(Debug)]
@@ -16,6 +20,21 @@ impl CommGroup {
     ///
     /// Panics if `n == 0`.
     pub fn create(n: usize) -> Vec<Communicator> {
+        Self::build(n, None)
+    }
+
+    /// Like [`CommGroup::create`], with a shared injected-failure plan:
+    /// every rank's resilient collectives consult the same plan at the
+    /// same sequence numbers, so injected failures stay in SPMD lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn create_faulty(n: usize, plan: CommFaultPlan) -> Vec<Communicator> {
+        Self::build(n, Some(Arc::new(plan)))
+    }
+
+    fn build(n: usize, fault_plan: Option<Arc<CommFaultPlan>>) -> Vec<Communicator> {
         assert!(n > 0, "communicator group must have at least one rank");
         let barrier = Arc::new(Barrier::new(n));
         // Channel i carries messages from rank i to rank (i+1) % n.
@@ -33,6 +52,8 @@ impl CommGroup {
                 send_next: senders[rank].take().expect("sender taken once"),
                 recv_prev: receivers[(rank + n - 1) % n].take().expect("receiver taken once"),
                 barrier: Arc::clone(&barrier),
+                seq: Cell::new(0),
+                fault_plan: fault_plan.clone(),
             })
             .collect()
     }
@@ -49,6 +70,11 @@ pub struct Communicator {
     send_next: Sender<Vec<f64>>,
     recv_prev: Receiver<Vec<f64>>,
     barrier: Arc<Barrier>,
+    /// Count of *resilient* collectives issued so far — the key into the
+    /// shared [`CommFaultPlan`]. Identical on every rank by the SPMD
+    /// contract.
+    seq: Cell<u64>,
+    fault_plan: Option<Arc<CommFaultPlan>>,
 }
 
 impl Communicator {
@@ -469,6 +495,167 @@ impl Communicator {
     }
 }
 
+impl Communicator {
+    fn send_typed(&self, data: Vec<f64>) -> Result<(), CommError> {
+        self.send_next.send(data).map_err(|_| CommError::Dropped { rank: self.rank })
+    }
+
+    fn recv_typed(&self, timeout: Duration) -> Result<Vec<f64>, CommError> {
+        self.recv_prev.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout {
+                rank: self.rank,
+                waited_ms: timeout.as_millis() as u64,
+            },
+            RecvTimeoutError::Disconnected => CommError::Dropped { rank: self.rank },
+        })
+    }
+
+    /// [`Communicator::all_reduce_sum`] with a per-receive timeout and a
+    /// typed error instead of a panic. On error the buffer is restored to
+    /// its pre-call contents, so the caller may safely retry or abandon
+    /// the step without corrupting gradients.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Timeout`] if a ring receive exceeds `timeout`;
+    /// [`CommError::Dropped`] if a peer endpoint is gone.
+    pub fn all_reduce_sum_timeout(&self, data: &mut [f32], timeout: Duration) -> Result<(), CommError> {
+        if self.world == 1 {
+            return Ok(());
+        }
+        let snapshot = data.to_vec();
+        match self.try_ring_all_reduce(data, timeout) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                data.copy_from_slice(&snapshot);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_ring_all_reduce(&self, data: &mut [f32], timeout: Duration) -> Result<(), CommError> {
+        let n = self.world;
+        let chunks = ring_chunks(data.len(), n);
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
+            self.send_typed(payload)?;
+            let incoming = self.recv_typed(timeout)?;
+            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
+                *d += v as f32;
+            }
+        }
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s + 1) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
+            self.send_typed(payload)?;
+            let incoming = self.recv_typed(timeout)?;
+            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
+                *d = v as f32;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resilient sum all-reduce: retries with the policy's exponential,
+    /// seeded-jitter backoff. Injected failures (from the group's
+    /// [`CommFaultPlan`]) abort an attempt *before* any data moves, so the
+    /// buffer is untouched by a failed attempt and every rank observes the
+    /// identical failure schedule. Emits one `RecoveryAction` telemetry
+    /// event per retry and a `FaultInjected` event when a collective
+    /// recovers after injected failures.
+    ///
+    /// Returns the 1-based attempt number that succeeded.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::RetriesExhausted`] when every attempt the policy allows
+    /// failed; [`CommError::Timeout`] / [`CommError::Dropped`] immediately
+    /// on a *genuine* transport failure (a gone peer cannot be retried at
+    /// this layer — the group must be rebuilt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_attempts == 0`.
+    pub fn all_reduce_sum_resilient(
+        &self,
+        data: &mut [f32],
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> Result<u32, CommError> {
+        assert!(policy.max_attempts >= 1, "retry policy must allow at least one attempt");
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let injected = self.fault_plan.as_ref().map_or(0, |p| p.failures_at(seq));
+        let mut backoff_total = Duration::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            if attempt <= injected {
+                let backoff = policy.backoff(attempt, rng);
+                telemetry::emit(Event::RecoveryAction(RecoveryAction {
+                    kind: RecoveryKind::CommRetry,
+                    node: None,
+                    step: seq,
+                    attempt,
+                    backoff_ns: backoff.as_nanos() as u64,
+                }));
+                std::thread::sleep(backoff);
+                backoff_total += backoff;
+                continue;
+            }
+            self.all_reduce_sum_timeout(data, policy.timeout)?;
+            if attempt > 1 {
+                telemetry::emit(Event::FaultInjected(FaultInjected {
+                    kind: FaultKind::CommFailure,
+                    node: None,
+                    step: seq,
+                    attempts: attempt,
+                    magnitude: backoff_total.as_secs_f64(),
+                }));
+            }
+            return Ok(attempt);
+        }
+        telemetry::emit(Event::FaultInjected(FaultInjected {
+            kind: FaultKind::CommTimeout,
+            node: None,
+            step: seq,
+            attempts: policy.max_attempts,
+            magnitude: backoff_total.as_secs_f64(),
+        }));
+        Err(CommError::RetriesExhausted { attempts: policy.max_attempts })
+    }
+
+    /// Resilient Eq. (9) weighted all-reduce: scales by `weight` exactly
+    /// once, then runs [`Communicator::all_reduce_sum_resilient`]. On any
+    /// error the buffer is restored to its *unscaled* contents, so a
+    /// retried step re-enters with clean gradients — no sample is ever
+    /// double-weighted.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Communicator::all_reduce_sum_resilient`].
+    pub fn weighted_all_reduce_resilient(
+        &self,
+        data: &mut [f32],
+        weight: f32,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> Result<u32, CommError> {
+        let snapshot = data.to_vec();
+        for v in data.iter_mut() {
+            *v *= weight;
+        }
+        match self.all_reduce_sum_resilient(data, policy, rng) {
+            Ok(attempt) => Ok(attempt),
+            Err(e) => {
+                data.copy_from_slice(&snapshot);
+                Err(e)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod scatter_gather_tests {
     use super::*;
@@ -533,5 +720,164 @@ mod scatter_gather_tests {
         });
         assert_eq!(results[0].0, 0..2);
         assert_eq!(results[0].1, vec![5.0, 6.0]);
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::thread;
+
+    fn run_faulty_group<F, T>(n: usize, plan: CommFaultPlan, f: F) -> Vec<T>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = CommGroup::create_faulty(n, plan);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+            jitter: 0.5,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn resilient_recovers_from_injected_failures() {
+        // Collective 0 fails twice, collective 1 is clean; both must end
+        // with the exact plain-all-reduce result.
+        let plan = CommFaultPlan::new().fail_at(0, 2);
+        let results = run_faulty_group(3, plan, |c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7 + c.rank() as u64);
+            let policy = fast_policy();
+            let mut a = vec![(c.rank() + 1) as f32; 6];
+            let attempts_a = c.all_reduce_sum_resilient(&mut a, &policy, &mut rng).expect("recovers");
+            let mut b = vec![1.0f32; 6];
+            let attempts_b = c.all_reduce_sum_resilient(&mut b, &policy, &mut rng).expect("clean");
+            (a, attempts_a, b, attempts_b)
+        });
+        for (a, attempts_a, b, attempts_b) in results {
+            assert_eq!(a, vec![6.0; 6], "sum correct despite injected failures");
+            assert_eq!(attempts_a, 3, "two injected failures consume two attempts");
+            assert_eq!(b, vec![3.0; 6]);
+            assert_eq!(attempts_b, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_resilient_matches_clean_weighted_bitwise() {
+        let weights = [0.5f32, 0.3, 0.2];
+        let clean = run_group(3, move |c| {
+            let mut data: Vec<f32> = (0..9).map(|i| (i * (c.rank() + 2)) as f32).collect();
+            c.weighted_all_reduce(&mut data, weights[c.rank()]);
+            data
+        });
+        let plan = CommFaultPlan::new().fail_at(0, 1);
+        let faulty = run_faulty_group(3, plan, move |c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
+            let mut data: Vec<f32> = (0..9).map(|i| (i * (c.rank() + 2)) as f32).collect();
+            c.weighted_all_reduce_resilient(&mut data, weights[c.rank()], &fast_policy(), &mut rng)
+                .expect("recovers");
+            data
+        });
+        assert_eq!(clean, faulty, "retry path must be numerically identical to the clean path");
+    }
+
+    #[test]
+    fn exhausted_retries_leave_data_unscaled() {
+        // More injected failures than the budget: every rank gets the
+        // typed error and its buffer back, byte for byte.
+        let policy = RetryPolicy { max_attempts: 2, ..fast_policy() };
+        let plan = CommFaultPlan::new().fail_at(0, 99);
+        let results = run_faulty_group(3, plan, move |c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
+            let original: Vec<f32> = (0..5).map(|i| (i + c.rank()) as f32).collect();
+            let mut data = original.clone();
+            let err = c
+                .weighted_all_reduce_resilient(&mut data, 0.25, &policy, &mut rng)
+                .expect_err("budget too small");
+            (err, data == original)
+        });
+        for (err, restored) in results {
+            assert_eq!(err, CommError::RetriesExhausted { attempts: 2 });
+            assert!(restored, "failed collective must not scale or partially reduce the buffer");
+        }
+    }
+
+    #[test]
+    fn dropped_peer_is_a_typed_error() {
+        let mut comms = CommGroup::create(3);
+        drop(comms.pop()); // rank 2 "crashes" before the collective
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                thread::spawn(move || {
+                    let original = vec![1.0f32, 2.0, 3.0];
+                    let mut data = original.clone();
+                    let err = c
+                        .all_reduce_sum_timeout(&mut data, Duration::from_millis(200))
+                        .expect_err("peer is gone");
+                    (err, data == original)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (err, restored) = h.join().expect("rank panicked");
+            assert!(
+                matches!(err, CommError::Dropped { .. } | CommError::Timeout { .. }),
+                "unexpected error: {err:?}"
+            );
+            assert!(restored, "error path must restore the snapshot");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_advance_in_lockstep() {
+        // Failures injected at seq 1 must hit the *second* resilient
+        // collective on every rank, regardless of buffer or timing skew.
+        let plan = CommFaultPlan::new().fail_at(1, 1);
+        let results = run_faulty_group(2, plan, |c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
+            let policy = fast_policy();
+            let mut a = vec![1.0f32; 4];
+            let first = c.all_reduce_sum_resilient(&mut a, &policy, &mut rng).expect("clean");
+            let mut b = vec![2.0f32; 4];
+            let second = c.all_reduce_sum_resilient(&mut b, &policy, &mut rng).expect("recovers");
+            (first, second)
+        });
+        for (first, second) in results {
+            assert_eq!(first, 1);
+            assert_eq!(second, 2);
+        }
+    }
+
+    // `run_group` clone for this module (same helper as the sibling test mods).
+    fn run_group<F, T>(n: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = CommGroup::create(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
     }
 }

@@ -86,6 +86,13 @@ pub struct EpochRecord {
     pub pattern: Option<Vec<Bottleneck>>,
     /// Whether the learned model (vs the bootstrap) produced the split.
     pub used_model: bool,
+    /// Faults observed (injected or genuine) during the epoch.
+    #[serde(default)]
+    pub faults: u32,
+    /// Recovery actions taken (retries, group membership changes,
+    /// mid-epoch replans) during the epoch.
+    #[serde(default)]
+    pub recoveries: u32,
 }
 
 impl EpochRecord {
@@ -125,6 +132,8 @@ mod tests {
             overhead_seconds: 1.0,
             pattern: None,
             used_model: false,
+            faults: 0,
+            recoveries: 0,
         };
         assert!((r.overhead_fraction() - 0.1).abs() < 1e-12);
     }

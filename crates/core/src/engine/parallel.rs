@@ -20,10 +20,14 @@ use crate::gns::{estimate_gns, Aggregation, GnsEstimate, GnsTracker, GradientSam
 use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
 
-use cannikin_collectives::CommGroup;
+use cannikin_collectives::{CommError, CommFaultPlan, CommGroup, RetryPolicy};
 use cannikin_insight::{HealthReport, Monitor};
-use cannikin_telemetry::{self as telemetry, AnomalyKind, Event, SplitDecision, SplitSource, StepTiming};
+use cannikin_telemetry::{
+    self as telemetry, AnomalyKind, Event, RecoveryAction, RecoveryKind, SplitDecision, SplitSource, StepTiming,
+};
 use hetsim::trace::{BatchTrace, NodeObservation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use minidnn::data::ClassificationDataset;
 use minidnn::layers::{assign_grads_from, flatten_grads_into, flatten_values, zero_grads, Layer, Sequential};
 use minidnn::loss::{Loss, SoftmaxCrossEntropy};
@@ -52,6 +56,12 @@ pub struct ParallelConfig {
     pub lr_scaler: LrScaler,
     /// RNG seed (model init and shuffling).
     pub seed: u64,
+    /// Injected gradient-exchange failures, keyed by collective sequence
+    /// number; `Some` routes every rank through the resilient (timeout +
+    /// retry-with-backoff) all-reduce path. `None` keeps the plain path.
+    pub comm_faults: Option<CommFaultPlan>,
+    /// Retry policy of the resilient path (only used with `comm_faults`).
+    pub retry: RetryPolicy,
 }
 
 impl ParallelConfig {
@@ -66,6 +76,8 @@ impl ParallelConfig {
             base_lr: 0.1,
             lr_scaler: LrScaler::AdaScale,
             seed: 17,
+            comm_faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -89,6 +101,9 @@ pub struct ParallelEpochReport {
     pub noise_scale: Option<f64>,
     /// Whether the learned performance model produced the split.
     pub used_model: bool,
+    /// Gradient-exchange retries this epoch (injected-failure recoveries
+    /// plus full-step retries; 0 on the non-resilient path).
+    pub comm_retries: u32,
 }
 
 /// Functional Cannikin trainer over OS threads.
@@ -162,6 +177,65 @@ impl ParallelTrainer {
         &self.analyzer
     }
 
+    /// Current rank count.
+    pub fn world_size(&self) -> usize {
+        self.config.slowdowns.len()
+    }
+
+    /// Evict a rank (crash or graceful leave): the next epoch's comm group
+    /// is built over the survivors, the dead rank's analyzer state is
+    /// dropped, and the split is re-solved so `Σ bᵢ = B` over the new
+    /// membership. The shared model weights and the GNS tracker carry over
+    /// untouched — no training progress is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range or it is the last rank.
+    pub fn remove_rank(&mut self, rank: usize) {
+        let n = self.config.slowdowns.len();
+        assert!(rank < n, "rank {rank} out of range");
+        assert!(n > 1, "cannot remove the last rank");
+        self.config.slowdowns.remove(rank);
+        self.analyzer.remove_node(rank);
+        if self.last_split.len() == n {
+            self.last_split.remove(rank);
+        }
+        telemetry::emit(Event::RecoveryAction(RecoveryAction {
+            kind: RecoveryKind::GroupShrink,
+            node: Some(rank as u32),
+            step: self.epoch as u64,
+            attempt: 1,
+            backoff_ns: 0,
+        }));
+    }
+
+    /// Admit a new rank with the given emulated slowdown factor. It starts
+    /// from the shared weights like every replica and is profiled through
+    /// the bootstrap path over the next epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1` or the base batch cannot cover the grown
+    /// membership.
+    pub fn add_rank(&mut self, slowdown: f64) {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1");
+        self.config.slowdowns.push(slowdown);
+        assert!(
+            self.config.base_batch >= self.config.slowdowns.len() as u64,
+            "base batch must cover every rank"
+        );
+        self.analyzer.add_node(None);
+        // Force a fresh split that covers the newcomer.
+        self.last_split.clear();
+        telemetry::emit(Event::RecoveryAction(RecoveryAction {
+            kind: RecoveryKind::GroupGrow,
+            node: Some((self.config.slowdowns.len() - 1) as u32),
+            step: self.epoch as u64,
+            attempt: 1,
+            backoff_ns: 0,
+        }));
+    }
+
     /// Run one epoch of real data-parallel training.
     pub fn run_epoch(&mut self) -> ParallelEpochReport {
         let _epoch_span = telemetry::span("epoch");
@@ -223,7 +297,11 @@ impl ParallelTrainer {
         // thread budget so n replicas × blocked-matmul fan-out never
         // oversubscribes the machine.
         let kernel_threads = minidnn::tensor::threads::replica_share(n);
-        let comms = CommGroup::create(n);
+        let resilient = self.config.comm_faults.is_some();
+        let comms = match &self.config.comm_faults {
+            Some(plan) => CommGroup::create_faulty(n, plan.clone()),
+            None => CommGroup::create(n),
+        };
         let started = Instant::now();
         let mut handles = Vec::new();
         for (rank, comm) in comms.into_iter().enumerate() {
@@ -234,6 +312,8 @@ impl ParallelTrainer {
             let step_totals = Arc::clone(&step_totals);
             let slowdown = self.config.slowdowns[rank];
             let seed = self.config.seed;
+            let retry = self.config.retry;
+            let epoch = self.epoch;
             handles.push(thread::spawn(move || {
                 run_rank(RankArgs {
                     comm,
@@ -248,6 +328,9 @@ impl ParallelTrainer {
                     seed,
                     steps,
                     kernel_threads,
+                    resilient,
+                    retry,
+                    epoch,
                 })
             }));
         }
@@ -283,6 +366,7 @@ impl ParallelTrainer {
                 observations,
                 batch_time: 0.0,
                 bucket_sync_end: Vec::new(),
+                faults: Vec::new(),
             });
         }
         for est in &rank_outputs[0].gns_estimates {
@@ -291,6 +375,7 @@ impl ParallelTrainer {
         self.apply_health(n);
 
         // ---- Evaluate and roll state forward. ----
+        let comm_retries = rank_outputs[0].comm_retries;
         let rank0 = rank_outputs.swap_remove(0);
         self.weights = rank0.weights;
         let mean_loss = rank0.losses.iter().sum::<f64>() / rank0.losses.len().max(1) as f64;
@@ -308,6 +393,7 @@ impl ParallelTrainer {
             accuracy,
             noise_scale: self.tracker.noise_scale(),
             used_model,
+            comm_retries,
         };
         self.epoch += 1;
         self.last_split = local;
@@ -382,6 +468,9 @@ struct RankArgs {
     seed: u64,
     steps: usize,
     kernel_threads: usize,
+    resilient: bool,
+    retry: RetryPolicy,
+    epoch: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -398,6 +487,7 @@ struct RankOutput {
     losses: Vec<f64>,
     gns_estimates: Vec<GnsEstimate>,
     step_measurements: Vec<StepMeasurement>,
+    comm_retries: u32,
 }
 
 /// A second split for within-epoch measurement: adjacent node pairs trade
@@ -445,6 +535,9 @@ fn run_rank(args: RankArgs) -> RankOutput {
         seed,
         steps,
         kernel_threads,
+        resilient,
+        retry,
+        epoch,
     } = args;
     // Cap this replica's matmul fan-out at its share of the budget for the
     // lifetime of the rank thread.
@@ -464,6 +557,10 @@ fn run_rank(args: RankArgs) -> RankOutput {
     let mut losses = Vec::with_capacity(steps);
     let mut gns_estimates = Vec::with_capacity(steps);
     let mut measurements = Vec::with_capacity(steps);
+    // Per-rank backoff jitter, deterministic in (seed, epoch, rank): the
+    // same seeded run replays the same retry timeline.
+    let mut retry_rng = StdRng::seed_from_u64(seed ^ ((epoch as u64) << 32) ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+    let mut comm_retries = 0u32;
     // Flat gradient buffer reused across every step of the epoch.
     let mut g: Vec<f32> = Vec::with_capacity(flat.len());
     for (step, batch_indices) in batches.iter().take(steps).enumerate() {
@@ -492,7 +589,34 @@ fn run_rank(args: RankArgs) -> RankOutput {
         flatten_grads_into(&model.parameters(), &mut g);
         let local_sq: f64 = g.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         let t2 = Instant::now();
-        comm.weighted_all_reduce(&mut g, ratio as f32);
+        if resilient {
+            // Injected failures abort before any data moves and exhausted
+            // budgets restore the unscaled buffer, so looping until success
+            // applies the Eq. (9) scaling exactly once — every rank decides
+            // identically (shared plan, lockstep sequence numbers), so no
+            // rank can apply an update the others dropped.
+            loop {
+                match comm.weighted_all_reduce_resilient(&mut g, ratio as f32, &retry, &mut retry_rng) {
+                    Ok(attempt) => {
+                        comm_retries += attempt - 1;
+                        break;
+                    }
+                    Err(CommError::RetriesExhausted { attempts }) => {
+                        comm_retries += attempts;
+                        telemetry::emit(Event::RecoveryAction(RecoveryAction {
+                            kind: RecoveryKind::StepRetry,
+                            node: Some(rank as u32),
+                            step: step as u64,
+                            attempt: comm_retries,
+                            backoff_ns: 0,
+                        }));
+                    }
+                    Err(e) => panic!("rank {rank}: unrecoverable collective failure: {e}"),
+                }
+            }
+        } else {
+            comm.weighted_all_reduce(&mut g, ratio as f32);
+        }
         let comm_time = t2.elapsed().as_secs_f64();
         let global_sq: f64 = g.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
 
@@ -536,6 +660,7 @@ fn run_rank(args: RankArgs) -> RankOutput {
         losses,
         gns_estimates,
         step_measurements: measurements,
+        comm_retries,
     }
 }
 
@@ -560,6 +685,8 @@ mod tests {
             base_lr: 0.05,
             lr_scaler: LrScaler::AdaScale,
             seed: 5,
+            comm_faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -621,5 +748,66 @@ mod tests {
             last = t.run_epoch();
         }
         assert!(last.mean_loss < first.mean_loss, "{} -> {}", first.mean_loss, last.mean_loss);
+    }
+
+    #[test]
+    fn resilient_path_is_numerically_identical_to_clean() {
+        // Same seed, same even epoch-0 split; the retried gradient
+        // exchanges must produce bit-identical models — the strongest form
+        // of "no sample lost, none double-counted".
+        let clean = trainer(false).run_epoch();
+        let faulty = {
+            let mut cfg = config(false);
+            cfg.comm_faults = Some(CommFaultPlan::new().fail_at(0, 1).fail_at(5, 2).fail_at(12, 1));
+            cfg.retry = RetryPolicy {
+                base_backoff: std::time::Duration::from_micros(10),
+                max_backoff: std::time::Duration::from_micros(100),
+                ..RetryPolicy::default()
+            };
+            let ds = gaussian_blobs(640, 4, 10, 3);
+            let mut t = ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), cfg);
+            t.run_epoch()
+        };
+        assert!(faulty.comm_retries > 0, "the seeded plan must inject failures");
+        assert_eq!(clean.comm_retries, 0);
+        assert_eq!(clean.mean_loss, faulty.mean_loss, "losses computed before the exchange");
+        assert_eq!(clean.accuracy, faulty.accuracy, "weights after recovery must match bitwise");
+        assert_eq!(clean.noise_scale, faulty.noise_scale, "GNS inputs must be unaffected");
+    }
+
+    #[test]
+    fn rank_crash_between_epochs_recovers() {
+        let ds = gaussian_blobs(640, 4, 10, 3);
+        let mut cfg = config(false);
+        cfg.slowdowns = vec![1.0, 1.0, 2.0];
+        let mut t = ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), cfg);
+        let before = t.run_epoch();
+        assert_eq!(before.local_batches.len(), 3);
+        t.remove_rank(2);
+        assert_eq!(t.world_size(), 2);
+        let mut last = t.run_epoch();
+        assert_eq!(last.local_batches.len(), 2, "group shrinks to the survivors");
+        assert_eq!(last.local_batches.iter().sum::<u64>(), last.total_batch);
+        for _ in 0..2 {
+            last = t.run_epoch();
+        }
+        assert!(
+            last.mean_loss < before.mean_loss,
+            "training continues from the shared weights: {} -> {}",
+            before.mean_loss,
+            last.mean_loss
+        );
+    }
+
+    #[test]
+    fn rank_join_between_epochs_grows_the_group() {
+        let mut t = trainer(false);
+        t.run_epoch();
+        t.add_rank(1.0);
+        assert_eq!(t.world_size(), 3);
+        let r = t.run_epoch();
+        assert_eq!(r.local_batches.len(), 3, "newcomer gets a share");
+        assert!(r.local_batches.iter().all(|&b| b >= 1));
+        assert_eq!(r.local_batches.iter().sum::<u64>(), r.total_batch);
     }
 }

@@ -8,7 +8,9 @@ use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerf
 use crate::perf::{Analyzer, MeasurementAggregation};
 
 use cannikin_insight::{HealthReport, Monitor};
-use cannikin_telemetry::{self as telemetry, AnomalyKind, Event, SplitDecision, SplitSource};
+use cannikin_telemetry::{
+    self as telemetry, AnomalyKind, Event, FaultKind, RecoveryAction, RecoveryKind, SplitDecision, SplitSource,
+};
 use hetsim::Simulator;
 use std::time::Instant;
 
@@ -240,8 +242,131 @@ impl CannikinTrainer {
             analyzer.observe_batch(batch);
             fit_seconds += fit_started.elapsed().as_secs_f64();
         };
+        let mut local = local;
+        let mut total = total;
+        let mut faults_seen = 0u32;
+        let mut recoveries = 0u32;
+        let mut replan_seconds = 0.0;
         let sim_span = telemetry::span("simulate");
-        let (epoch_time, mean_batch_time) = if accumulation > 1 {
+        let (epoch_time, mean_batch_time) = if self.sim.has_fault_plan() {
+            // Fault-aware per-step loop: every batch may surface injected
+            // faults, and the engine must react *mid-epoch* — evict crashed
+            // or departing nodes, admit joiners, re-solve the split at the
+            // same total batch, and retry steps whose gradient exchange was
+            // lost. A failed step contributes simulated wall time but no
+            // observations and no samples, so nothing is double-counted.
+            let mut epoch_time = 0.0;
+            let mut completed = 0usize;
+            let mut consecutive_failures = 0u32;
+            while completed < steps {
+                let mut micros = Vec::new();
+                if accumulation > 1 {
+                    for _ in 0..accumulation - 1 {
+                        let micro = self.sim.simulate_microbatch(&local);
+                        epoch_time += micro.batch_time;
+                        micros.push(micro);
+                    }
+                }
+                let batch = self.sim.simulate_batch(&local);
+                epoch_time += batch.batch_time;
+                faults_seen += batch.faults.len() as u32;
+                for fault in &batch.faults {
+                    telemetry::emit(Event::FaultInjected(*fault));
+                }
+                let failed = batch.is_failed();
+                if failed {
+                    consecutive_failures += 1;
+                    assert!(
+                        consecutive_failures < 10_000,
+                        "fault plan wedged the run: {consecutive_failures} consecutive failed steps"
+                    );
+                } else {
+                    // Only a completed step feeds the models — a retried
+                    // step's micro-batches would otherwise be seen twice.
+                    for micro in &micros {
+                        observe(&mut self.analyzer, micro, completed);
+                    }
+                    observe(&mut self.analyzer, &batch, completed);
+                    completed += 1;
+                    consecutive_failures = 0;
+                }
+                // Membership changes: crashed nodes (their step already
+                // failed) and graceful leavers (their step completed).
+                let mut gone: Vec<usize> = batch
+                    .faults
+                    .iter()
+                    .filter(|f| matches!(f.kind, FaultKind::NodeCrash | FaultKind::NodeLeave))
+                    .filter_map(|f| f.node.map(|n| n as usize))
+                    .collect();
+                gone.sort_unstable();
+                gone.dedup();
+                let mut membership_changed = false;
+                for &node in gone.iter().rev() {
+                    if self.sim.cluster().len() <= 1 {
+                        break; // never evict the last survivor
+                    }
+                    self.sim.remove_node(node);
+                    self.analyzer.remove_node(node);
+                    recoveries += 1;
+                    telemetry::emit(Event::RecoveryAction(RecoveryAction {
+                        kind: RecoveryKind::GroupShrink,
+                        node: Some(node as u32),
+                        step: completed as u64,
+                        attempt: 1,
+                        backoff_ns: 0,
+                    }));
+                    membership_changed = true;
+                }
+                for spec in self.sim.take_pending_joins() {
+                    self.sim.add_node(spec);
+                    let new_idx = self.sim.cluster().len() - 1;
+                    self.analyzer.add_node(Some(self.sim.max_local_batch(new_idx)));
+                    recoveries += 1;
+                    telemetry::emit(Event::RecoveryAction(RecoveryAction {
+                        kind: RecoveryKind::GroupGrow,
+                        node: Some(new_idx as u32),
+                        step: completed as u64,
+                        attempt: 1,
+                        backoff_ns: 0,
+                    }));
+                    membership_changed = true;
+                }
+                if membership_changed {
+                    let replan_started = Instant::now();
+                    local = self.replan_split(total);
+                    total = local.iter().sum();
+                    replan_seconds += replan_started.elapsed().as_secs_f64();
+                    recoveries += 1;
+                    telemetry::emit(Event::RecoveryAction(RecoveryAction {
+                        kind: RecoveryKind::Replan,
+                        node: None,
+                        step: completed as u64,
+                        attempt: 1,
+                        backoff_ns: 0,
+                    }));
+                    if telemetry::enabled() {
+                        telemetry::emit(Event::SplitDecision(SplitDecision {
+                            total,
+                            local: local.clone(),
+                            predicted_t: None,
+                            source: SplitSource::Bootstrap,
+                        }));
+                    }
+                } else if failed {
+                    // Transient loss of the gradient exchange with the
+                    // membership intact: retry the same step.
+                    recoveries += 1;
+                    telemetry::emit(Event::RecoveryAction(RecoveryAction {
+                        kind: RecoveryKind::StepRetry,
+                        node: None,
+                        step: completed as u64,
+                        attempt: consecutive_failures,
+                        backoff_ns: 0,
+                    }));
+                }
+            }
+            (epoch_time, epoch_time / steps as f64)
+        } else if accumulation > 1 {
             // Each optimizer step: (accum − 1) no-sync micro-batches, then
             // one synchronized batch.
             let mut epoch_time = 0.0;
@@ -264,7 +389,7 @@ impl CannikinTrainer {
             (trace.epoch_time, trace.mean_batch_time())
         };
         drop(sim_span);
-        let overhead_seconds = plan_seconds + fit_seconds;
+        let overhead_seconds = plan_seconds + fit_seconds + replan_seconds;
 
         telemetry::counter("epoch_time_s", epoch_time);
         telemetry::counter("overhead_s", overhead_seconds);
@@ -289,10 +414,37 @@ impl CannikinTrainer {
             overhead_seconds,
             pattern,
             used_model,
+            faults: faults_seen,
+            recoveries,
         };
         self.epoch += 1;
         self.last_local = local;
         Ok(record)
+    }
+
+    /// Mid-epoch split re-solve after an elastic membership change: keep
+    /// the same total batch (clamped into the new cluster's feasible
+    /// range), prefer the surviving nodes' learned models, and fall back
+    /// to the Eq. (8) bootstrap when the model set is incomplete (e.g. an
+    /// unprofiled joiner). Preserves the GNS/goodput operating point — the
+    /// statistical state belongs to the *job*, not the cluster.
+    fn replan_split(&mut self, total: u64) -> Vec<u64> {
+        let n = self.sim.cluster().len();
+        self.goodput = GoodputEngine::new(
+            self.config.base_batch,
+            self.config.base_batch.max(n as u64),
+            self.config.max_batch,
+        );
+        let cap_sum: u64 = (0..n).map(|i| self.sim.max_local_batch(i)).sum();
+        let total = total.clamp(n as u64, cap_sum.max(n as u64));
+        if let Ok(input) = self.analyzer.solver_input() {
+            if let Ok(plan) = OptPerfSolver::new(input).solve(total) {
+                return plan.local_batches;
+            }
+        }
+        let t_samples: Vec<f64> =
+            (0..n).map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0)).collect();
+        bootstrap_split(&t_samples, total)
     }
 
     /// End-of-epoch health pass: flush this thread's telemetry buffer so
@@ -541,6 +693,120 @@ mod elastic_tests {
             assert_eq!(r.local_batches.iter().sum::<u64>(), r.total_batch);
         }
         assert!(after.last().unwrap().used_model, "model should re-engage after shrink");
+    }
+}
+
+#[cfg(test)]
+mod fault_recovery_tests {
+    use super::*;
+    use crate::engine::LinearNoiseGrowth;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::{ClusterSpec, NodeSpec};
+    use hetsim::job::JobSpec;
+    use hetsim::FaultPlan;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(
+            "chaos",
+            vec![
+                NodeSpec::new("a100", Gpu::A100),
+                NodeSpec::new("v100", Gpu::V100),
+                NodeSpec::new("rtx", Gpu::Rtx6000),
+            ],
+        )
+    }
+
+    fn trainer_with(plan: FaultPlan) -> CannikinTrainer {
+        let sim = Simulator::new(cluster(), JobSpec::resnet18_cifar10(), 21).with_fault_plan(plan);
+        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+        let mut config = TrainerConfig::new(6_400, 64, 512);
+        config.adaptive_batch = false;
+        CannikinTrainer::new(sim, noise, config)
+    }
+
+    #[test]
+    fn crash_mid_epoch_shrinks_and_resplits_at_same_total() {
+        // Node 1 dies during epoch 2 (steps are 100/epoch at B=64).
+        let mut t = trainer_with(FaultPlan::new(9).crash_at(250, 1));
+        let before = t.run_epochs(2).expect("healthy epochs");
+        assert!(before.iter().all(|r| r.faults == 0 && r.recoveries == 0));
+        let crash_epoch = t.run_epoch().expect("epoch with the crash");
+        assert!(crash_epoch.faults >= 1, "the crash must be surfaced");
+        assert!(crash_epoch.recoveries >= 2, "eviction + replan: {}", crash_epoch.recoveries);
+        assert_eq!(crash_epoch.local_batches.len(), 2, "dead rank evicted");
+        assert_eq!(crash_epoch.local_batches.iter().sum::<u64>(), crash_epoch.total_batch);
+        assert_eq!(crash_epoch.total_batch, 64, "total batch preserved across the shrink");
+        let after = t.run_epochs(2).expect("post-recovery epochs");
+        for r in &after {
+            assert_eq!(r.local_batches.len(), 2);
+            assert_eq!(r.local_batches.iter().sum::<u64>(), 64);
+        }
+    }
+
+    #[test]
+    fn graceful_leave_does_not_lose_the_departing_step() {
+        let mut t = trainer_with(FaultPlan::new(10).leave_at(120, 2));
+        let records = t.run_epochs(3).expect("run");
+        let leave_epoch = &records[1];
+        assert!(leave_epoch.faults >= 1);
+        assert_eq!(leave_epoch.local_batches.len(), 2);
+        // A graceful leave completes its last step: effective progress per
+        // epoch never dips to zero.
+        for pair in records.windows(2) {
+            assert!(pair[1].effective_epochs > pair[0].effective_epochs);
+        }
+    }
+
+    #[test]
+    fn join_mid_epoch_grows_the_group() {
+        let plan = FaultPlan::new(11).join_at(150, NodeSpec::new("late-a100", Gpu::A100));
+        let mut t = trainer_with(plan);
+        let records = t.run_epochs(3).expect("run");
+        let join_epoch = &records[1];
+        assert_eq!(join_epoch.local_batches.len(), 4, "joiner admitted mid-epoch");
+        assert_eq!(join_epoch.local_batches.iter().sum::<u64>(), join_epoch.total_batch);
+        assert!(join_epoch.local_batches.iter().all(|&b| b >= 1), "every node trains");
+        assert!(join_epoch.recoveries >= 2, "grow + replan");
+    }
+
+    #[test]
+    fn transient_comm_loss_retries_without_losing_samples() {
+        let mut t = trainer_with(FaultPlan::new(12).transient_comm(0.2, 1));
+        let records = t.run_epochs(3).expect("run");
+        let faulty: u32 = records.iter().map(|r| r.faults).sum();
+        let retries: u32 = records.iter().map(|r| r.recoveries).sum();
+        assert!(faulty > 0, "with p=0.2 over 300 steps, failures are certain");
+        assert!(retries > 0, "every exhausted exchange must be retried");
+        // Every epoch still completes its full step budget — no samples
+        // lost (failed steps are re-run) and none double-counted (each
+        // record's progress uses the planned step count once).
+        for r in &records {
+            assert_eq!(r.steps, 100);
+            assert_eq!(r.local_batches.iter().sum::<u64>(), r.total_batch);
+        }
+    }
+
+    #[test]
+    fn faulty_run_converges_close_to_fault_free() {
+        let healthy = {
+            let sim = Simulator::new(cluster(), JobSpec::resnet18_cifar10(), 21);
+            let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
+            let mut config = TrainerConfig::new(6_400, 64, 512);
+            config.adaptive_batch = false;
+            let mut t = CannikinTrainer::new(sim, noise, config);
+            t.run_epochs(4).expect("run")
+        };
+        let faulty = {
+            let mut t = trainer_with(FaultPlan::new(13).transient_comm(0.1, 1).burst_at(50, 2, 10, 3.0));
+            t.run_epochs(4).expect("run")
+        };
+        let eff_h = healthy.last().unwrap().effective_epochs;
+        let eff_f = faulty.last().unwrap().effective_epochs;
+        assert!((eff_f / eff_h - 1.0).abs() < 1e-9, "same statistical progress: {eff_h} vs {eff_f}");
+        let t_h = healthy.last().unwrap().cumulative_time;
+        let t_f = faulty.last().unwrap().cumulative_time;
+        assert!(t_f > t_h, "faults cost wall time");
+        assert!(t_f < t_h * 2.0, "but bounded: {t_h} vs {t_f}");
     }
 }
 

@@ -277,6 +277,33 @@ impl Analyzer {
         self.nodes[node].by_batch.clear();
     }
 
+    /// Evict a node (crash or graceful leave): its history and memory cap
+    /// are dropped and every higher index shifts down by one, mirroring
+    /// [`hetsim::Simulator::remove_node`]. The surviving nodes keep their
+    /// learned models and the cluster-wide communication fusers keep their
+    /// fused state, so the solver can re-engage immediately after an
+    /// elastic shrink instead of re-profiling from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the analyzer would become empty.
+    pub fn remove_node(&mut self, node: usize) {
+        assert!(node < self.nodes.len(), "node {node} out of range");
+        assert!(self.nodes.len() > 1, "cannot remove the last node");
+        self.nodes.remove(node);
+        self.max_batches.remove(node);
+    }
+
+    /// Admit a freshly joined node with an optional memory cap. Its
+    /// history starts empty, so [`Analyzer::solver_input`] reports
+    /// not-ready until the newcomer has been profiled at two distinct
+    /// local batch sizes (the engine routes through the bootstrap in the
+    /// meantime).
+    pub fn add_node(&mut self, max_batch: Option<u64>) {
+        self.nodes.push(NodeHistory::default());
+        self.max_batches.push(max_batch);
+    }
+
     /// Most recent per-sample compute time of a node (drives Eq. (8)).
     pub fn per_sample_time(&self, node: usize) -> Option<f64> {
         self.nodes[node].last_per_sample
@@ -406,6 +433,37 @@ mod tests {
         }
         let input = an.solver_input().unwrap();
         assert_eq!(input.nodes[1].max_batch, Some(50));
+    }
+
+    #[test]
+    fn remove_node_keeps_surviving_models() {
+        let mut sim = Simulator::new(cluster(), JobSpec::resnet50_imagenet(), 2).with_noise(0.0, 0.0);
+        let mut an = Analyzer::new(3, MeasurementAggregation::InverseVariance)
+            .with_max_batches(vec![Some(100), Some(50), Some(25)]);
+        for local in [[48u64, 24, 12], [24, 12, 6]] {
+            an.observe_batch(&sim.simulate_batch(&local));
+        }
+        let rtx_truth = sim.true_coefficients(2);
+        an.remove_node(1); // the V100 dies
+        assert_eq!(an.len(), 2);
+        let input = an.solver_input().expect("survivors keep their models");
+        assert_eq!(input.nodes.len(), 2);
+        assert!((input.nodes[1].q - rtx_truth.q).abs() / rtx_truth.q < 1e-9, "index 1 is now the RTX");
+        assert_eq!(input.nodes[1].max_batch, Some(25), "caps shift with the nodes");
+    }
+
+    #[test]
+    fn add_node_requires_profiling_the_newcomer() {
+        let mut sim = Simulator::new(cluster(), JobSpec::resnet50_imagenet(), 2).with_noise(0.0, 0.0);
+        let mut an = Analyzer::new(3, MeasurementAggregation::InverseVariance);
+        for local in [[48u64, 24, 12], [24, 12, 6]] {
+            an.observe_batch(&sim.simulate_batch(&local));
+        }
+        assert!(an.solver_input().is_ok());
+        an.add_node(Some(64));
+        assert_eq!(an.len(), 4);
+        assert!(an.solver_input().is_err(), "newcomer has no model yet");
+        assert!(an.per_sample_time(3).is_none());
     }
 
     #[test]

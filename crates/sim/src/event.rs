@@ -17,6 +17,7 @@
 //! (`event_sim_matches_eq7`) pins this equivalence down.
 
 use crate::cluster::ClusterSpec;
+use crate::fault::{CommOutcome, FaultPlan, FaultState};
 use crate::job::JobSpec;
 use crate::timing::{comm_times, node_coefficients, ComputeCoeffs};
 use crate::trace::{BatchTrace, EpochTrace, NodeObservation};
@@ -39,6 +40,7 @@ pub struct Simulator {
     straggler_prob: f64,
     straggler_factor: f64,
     rng: StdRng,
+    faults: Option<FaultState>,
 }
 
 impl Simulator {
@@ -58,7 +60,30 @@ impl Simulator {
             straggler_prob: 0.0,
             straggler_factor: 3.0,
             rng: StdRng::seed_from_u64(seed),
+            faults: None,
         }
+    }
+
+    /// Attach a seeded [`FaultPlan`] (builder style). Fault randomness is
+    /// drawn from the plan's own RNG, so attaching a plan does not perturb
+    /// the noise stream of healthy batches.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultState::new(plan, self.cluster.len()));
+        self
+    }
+
+    /// Node specs whose scheduled join has fired but which have not been
+    /// admitted yet; draining this is the engine's cue to call
+    /// [`Simulator::add_node`] and replan.
+    pub fn take_pending_joins(&mut self) -> Vec<crate::cluster::NodeSpec> {
+        self.faults.as_mut().map(FaultState::take_pending_joins).unwrap_or_default()
+    }
+
+    /// Whether a [`FaultPlan`] is attached (the engine switches to its
+    /// fault-aware per-step loop when one is).
+    pub fn has_fault_plan(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Enable transient stragglers (builder style): with probability
@@ -147,6 +172,9 @@ impl Simulator {
         let (t_comm, _, t_u) = comm_times(&self.cluster, &self.job);
         self.t_comm = t_comm;
         self.t_u = t_u;
+        if let Some(state) = self.faults.as_mut() {
+            state.on_node_added();
+        }
     }
 
     /// Remove a node from the cluster mid-run.
@@ -162,6 +190,12 @@ impl Simulator {
         let (t_comm, _, t_u) = comm_times(&self.cluster, &self.job);
         self.t_comm = t_comm;
         self.t_u = t_u;
+        // Every per-node structure indexed by position must shift with the
+        // removal, or faults scheduled for "node 2" would start hitting
+        // whatever machine inherited index 2.
+        if let Some(state) = self.faults.as_mut() {
+            state.on_node_removed(node);
+        }
     }
 
     /// Deterministic (noise-free) batch time for a local-batch assignment —
@@ -205,11 +239,51 @@ impl Simulator {
 
     /// Simulate one batch with noise, producing per-node observations.
     ///
+    /// With a [`FaultPlan`] attached, the plan's faults for this batch are
+    /// applied and surfaced in [`BatchTrace::faults`]: crashed members or
+    /// an exhausted communication-retry budget fail the batch (empty
+    /// observations, stretched batch time), recovered communication
+    /// failures and slowdown bursts stretch it, flapping contention
+    /// mutates the ground-truth coefficients at toggle boundaries.
+    ///
     /// # Panics
     ///
     /// Panics if `local.len()` differs from the node count.
     pub fn simulate_batch(&mut self, local: &[u64]) -> BatchTrace {
         assert_eq!(local.len(), self.cluster.len(), "one local batch per node");
+        let n = self.cluster.len();
+        let t_comm = self.t_comm;
+        let fx = match self.faults.as_mut() {
+            None => return self.simulate_batch_core(local, None),
+            Some(state) => state.on_batch_start(n, t_comm),
+        };
+        for &(node, fraction) in &fx.toggles {
+            self.set_contention(node, fraction);
+        }
+        if !fx.crashed.is_empty() {
+            // The survivors block until the failure detector gives up on
+            // the dead rank; the step's gradients are lost.
+            let factor = self.faults.as_ref().expect("fault state").detect_timeout_factor();
+            let batch_time = factor * self.ideal_batch_time(local);
+            return BatchTrace { observations: Vec::new(), batch_time, bucket_sync_end: Vec::new(), faults: fx.faults };
+        }
+        let mut trace = self.simulate_batch_core(local, Some(&fx.slowdown));
+        match fx.comm {
+            CommOutcome::Clean => {}
+            CommOutcome::Recovered { penalty, .. } => trace.batch_time += penalty,
+            CommOutcome::Exhausted { penalty, .. } => {
+                trace.batch_time += penalty;
+                trace.observations.clear();
+                trace.bucket_sync_end.clear();
+            }
+        }
+        trace.faults = fx.faults;
+        trace
+    }
+
+    /// The fault-free batch recurrence shared by the healthy and faulty
+    /// paths; `slowdown` optionally stretches per-node compute.
+    fn simulate_batch_core(&mut self, local: &[u64], slowdown: Option<&[f64]>) -> BatchTrace {
         let gamma = self.job.gamma;
         let k = self.job.num_buckets;
         let n = self.cluster.len();
@@ -218,14 +292,15 @@ impl Simulator {
         // transient straggler spikes.
         let mut a = Vec::with_capacity(n);
         let mut p = Vec::with_capacity(n);
-        for (c, &b) in self.coeffs.iter().zip(local) {
+        for (i, (c, &b)) in self.coeffs.iter().zip(local).enumerate() {
             let spike = if self.straggler_prob > 0.0 && uniform(&mut self.rng) < self.straggler_prob {
                 self.straggler_factor
             } else {
                 1.0
             };
-            a.push(c.a(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike);
-            p.push(c.p(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike);
+            let stretch = slowdown.map_or(1.0, |s| s[i]);
+            a.push(c.a(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike * stretch);
+            p.push(c.p(b as f64) * lognormal(&mut self.rng, self.compute_noise) * spike * stretch);
         }
 
         // Bucket-ready schedule from the noisy realizations.
@@ -274,7 +349,7 @@ impl Simulator {
             })
             .collect();
 
-        BatchTrace { observations, batch_time: end, bucket_sync_end: bucket_end }
+        BatchTrace { observations, batch_time: end, bucket_sync_end: bucket_end, faults: Vec::new() }
     }
 
     /// Simulate one *no-sync* micro-batch (gradient accumulation): every
@@ -313,7 +388,7 @@ impl Simulator {
                 rel_variance: self.cluster.nodes[i].measurement_sigma.powi(2),
             });
         }
-        BatchTrace { observations, batch_time: end, bucket_sync_end: Vec::new() }
+        BatchTrace { observations, batch_time: end, bucket_sync_end: Vec::new(), faults: Vec::new() }
     }
 
     /// Simulate `steps` consecutive batches (one epoch) under a fixed
@@ -568,6 +643,134 @@ mod microbatch_tests {
         assert!((micro.batch_time - expected).abs() < 1e-12);
         assert!(micro.observations.iter().all(|o| o.t_comm_obs.is_nan()));
         assert!(micro.bucket_sync_end.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::catalog::Gpu;
+    use crate::cluster::{ClusterSpec, NodeSpec};
+    use crate::fault::FaultPlan;
+    use cannikin_telemetry::FaultKind;
+
+    fn cluster3() -> ClusterSpec {
+        ClusterSpec::new(
+            "t",
+            vec![
+                NodeSpec::new("a", Gpu::A100),
+                NodeSpec::new("b", Gpu::V100),
+                NodeSpec::new("c", Gpu::Rtx6000),
+            ],
+        )
+    }
+
+    #[test]
+    fn crash_fails_the_batch_until_eviction() {
+        let plan = FaultPlan::new(1).crash_at(2, 1);
+        let mut sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), 3).with_noise(0.0, 0.0).with_fault_plan(plan);
+        let local = [16u64, 8, 4];
+        let ideal = sim.ideal_batch_time(&local);
+        for _ in 0..2 {
+            let t = sim.simulate_batch(&local);
+            assert!(!t.is_failed());
+            assert_eq!(t.observations.len(), 3);
+        }
+        let failed = sim.simulate_batch(&local);
+        assert!(failed.is_failed());
+        assert!(failed.observations.is_empty(), "a failed batch yields no usable gradients");
+        assert!(failed.batch_time > ideal, "failure detection costs time: {} vs {ideal}", failed.batch_time);
+        assert!(failed.faults.iter().any(|f| f.kind == FaultKind::NodeCrash && f.node == Some(1)));
+        // After eviction the survivors train on.
+        sim.remove_node(1);
+        let healthy = sim.simulate_batch(&[16, 4]);
+        assert!(!healthy.is_failed());
+        assert_eq!(healthy.observations.len(), 2);
+    }
+
+    #[test]
+    fn fault_plan_does_not_perturb_healthy_noise_stream() {
+        let job = JobSpec::resnet50_imagenet();
+        let mut clean = Simulator::new(cluster3(), job.clone(), 11);
+        // A plan whose first fault fires far in the future: until then
+        // every batch must be bit-identical to the plan-free simulator.
+        let mut planned =
+            Simulator::new(cluster3(), job, 11).with_fault_plan(FaultPlan::new(99).crash_at(1_000, 0));
+        for _ in 0..20 {
+            let a = clean.simulate_batch(&[16, 8, 4]);
+            let b = planned.simulate_batch(&[16, 8, 4]);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_faulty_trace() {
+        let run = || {
+            let plan = FaultPlan::new(7).transient_comm(0.2, 3).burst_at(4, 2, 3, 2.5).flapping(0, 5, 0.6, 2);
+            let mut sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), 5).with_fault_plan(plan);
+            sim.simulate_epoch(&[16, 8, 4], 30)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn remove_node_keeps_fault_state_index_stable() {
+        // Regression: a burst scheduled for node 2 ("c") must keep hitting
+        // "c" after node 1 is removed, and removed-node state must not
+        // leak onto the machine that inherits its index.
+        let plan = FaultPlan::new(3).burst_at(5, 2, 2, 10.0);
+        let mut sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), 9).with_noise(0.0, 0.0).with_fault_plan(plan);
+        sim.remove_node(1); // "c" is now index 1
+        assert_eq!(sim.cluster().nodes[1].name, "c");
+        let local = [16u64, 8];
+        for _ in 0..5 {
+            assert!(sim.simulate_batch(&local).faults.is_empty());
+        }
+        let burst = sim.simulate_batch(&local);
+        let f = burst.faults.first().expect("burst fires");
+        assert_eq!(f.kind, FaultKind::SlowdownBurst);
+        assert_eq!(f.node, Some(1), "the burst follows the machine to its new index");
+        let c = sim.true_coefficients(1);
+        let obs = &burst.observations[1];
+        assert!((obs.a_time - 10.0 * c.a(8.0)).abs() < 1e-9, "slowdown applies to the surviving machine");
+        assert!((burst.observations[0].a_time - sim.true_coefficients(0).a(16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flapping_contention_mutates_ground_truth_and_recovers() {
+        let plan = FaultPlan::new(2).flapping(1, 3, 0.5, 0);
+        let mut sim = Simulator::new(cluster3(), JobSpec::bert_squad(), 4).with_noise(0.0, 0.0).with_fault_plan(plan);
+        let k0 = sim.true_coefficients(1).k;
+        let mut toggles = Vec::new();
+        // period 3 from step 0: contended at steps 3..6 and 9..12, so the
+        // fourth toggle (back to full speed) fires at step 12.
+        for _ in 0..13 {
+            let t = sim.simulate_batch(&[4, 4, 4]);
+            for f in &t.faults {
+                assert_eq!(f.kind, FaultKind::ContentionFlap);
+                toggles.push(f.magnitude);
+            }
+        }
+        assert_eq!(toggles, vec![0.5, 1.0, 0.5, 1.0]);
+        // After an even number of toggles the node is back to full speed.
+        assert!((sim.true_coefficients(1).k - k0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_timeout_loses_the_step() {
+        // prob close to 1 with a single attempt: every batch exhausts.
+        let plan = FaultPlan::new(6).transient_comm(0.99, 1);
+        let mut sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), 8).with_fault_plan(plan);
+        let mut exhausted = 0;
+        for _ in 0..20 {
+            let t = sim.simulate_batch(&[8, 8, 8]);
+            if t.is_failed() {
+                exhausted += 1;
+                assert!(t.observations.is_empty());
+                assert!(t.faults.iter().any(|f| f.kind == FaultKind::CommTimeout));
+            }
+        }
+        assert!(exhausted >= 15, "{exhausted} exhausted batches of 20");
     }
 }
 

@@ -43,9 +43,11 @@
 pub mod catalog;
 pub mod cluster;
 pub mod event;
+pub mod fault;
 pub mod job;
 pub mod timing;
 pub mod trace;
 
 pub use event::Simulator;
+pub use fault::{CommFaultConfig, FaultEvent, FaultPlan};
 pub use trace::{BatchTrace, NodeObservation};

@@ -171,6 +171,132 @@ impl AnomalyKind {
     }
 }
 
+/// The class of injected (or observed) fault a [`FaultInjected`] event
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A node died hard: its results for the step are lost and it will
+    /// not come back under the same identity.
+    NodeCrash,
+    /// A node left gracefully (scheduled departure): the step completes,
+    /// the group shrinks afterwards.
+    NodeLeave,
+    /// A node joined the cluster (scheduled arrival).
+    NodeJoin,
+    /// A transient communication failure that was recovered by retrying.
+    CommFailure,
+    /// A communication failure that exhausted its retry budget; the whole
+    /// step must be retried.
+    CommTimeout,
+    /// A bounded-duration compute slowdown burst on one node.
+    SlowdownBurst,
+    /// A flapping-contention toggle: the node's available compute fraction
+    /// switched state.
+    ContentionFlap,
+}
+
+impl FaultKind {
+    /// Stable string tag (the `kind` field of the JSONL form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::NodeLeave => "node_leave",
+            FaultKind::NodeJoin => "node_join",
+            FaultKind::CommFailure => "comm_failure",
+            FaultKind::CommTimeout => "comm_timeout",
+            FaultKind::SlowdownBurst => "slowdown_burst",
+            FaultKind::ContentionFlap => "contention_flap",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "node_crash" => Some(FaultKind::NodeCrash),
+            "node_leave" => Some(FaultKind::NodeLeave),
+            "node_join" => Some(FaultKind::NodeJoin),
+            "comm_failure" => Some(FaultKind::CommFailure),
+            "comm_timeout" => Some(FaultKind::CommTimeout),
+            "slowdown_burst" => Some(FaultKind::SlowdownBurst),
+            "contention_flap" => Some(FaultKind::ContentionFlap),
+            _ => None,
+        }
+    }
+}
+
+/// A fault fired by the chaos layer (or detected by a resilient
+/// collective) during one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjected {
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// Affected node, when the fault is node-scoped (`None` for
+    /// group-wide faults such as a communication timeout).
+    pub node: Option<u32>,
+    /// Step index (within the epoch) the fault fired on.
+    pub step: u64,
+    /// Communication attempts consumed (1 for non-comm faults).
+    pub attempts: u32,
+    /// Fault magnitude — slowdown factor for bursts, contended compute
+    /// fraction for flaps, seconds of stretched batch time for comm
+    /// faults, 0 where not meaningful.
+    pub magnitude: f64,
+}
+
+/// The recovery response a [`RecoveryAction`] event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryKind {
+    /// One retry of a failed collective (per-attempt granularity).
+    CommRetry,
+    /// The engine re-ran a whole training step after a comm timeout.
+    StepRetry,
+    /// The group shrank: a dead/leaving rank was evicted and its analyzer
+    /// state dropped.
+    GroupShrink,
+    /// The group grew: a joining node was admitted.
+    GroupGrow,
+    /// The split was re-solved under the new membership (Σ b_i = B).
+    Replan,
+}
+
+impl RecoveryKind {
+    /// Stable string tag (the `kind` field of the JSONL form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryKind::CommRetry => "comm_retry",
+            RecoveryKind::StepRetry => "step_retry",
+            RecoveryKind::GroupShrink => "group_shrink",
+            RecoveryKind::GroupGrow => "group_grow",
+            RecoveryKind::Replan => "replan",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RecoveryKind> {
+        match s {
+            "comm_retry" => Some(RecoveryKind::CommRetry),
+            "step_retry" => Some(RecoveryKind::StepRetry),
+            "group_shrink" => Some(RecoveryKind::GroupShrink),
+            "group_grow" => Some(RecoveryKind::GroupGrow),
+            "replan" => Some(RecoveryKind::Replan),
+            _ => None,
+        }
+    }
+}
+
+/// One recovery step taken in response to a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryAction {
+    /// What the recovering component did.
+    pub kind: RecoveryKind,
+    /// Node the action targets, when node-scoped.
+    pub node: Option<u32>,
+    /// Step index (within the epoch) the action happened on.
+    pub step: u64,
+    /// Retry attempt number (0 for non-retry actions).
+    pub attempt: u32,
+    /// Backoff slept before this attempt, ns (0 for non-retry actions).
+    pub backoff_ns: u64,
+}
+
 /// A detector's verdict that the run left its expected envelope (emitted
 /// by `cannikin-insight` monitors, online or during offline replay).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -225,6 +351,10 @@ pub enum Event {
     /// A detector flagged a straggler, calibration drift, GNS jump or
     /// bucket imbalance.
     AnomalyDetected(AnomalyDetected),
+    /// The chaos layer (or a resilient collective) reported a fault.
+    FaultInjected(FaultInjected),
+    /// A component recovered from a fault (retry, group change, replan).
+    RecoveryAction(RecoveryAction),
     /// A named counter sample.
     Counter(Counter),
     /// A span opening.
@@ -245,6 +375,8 @@ impl Event {
             Event::AllReduceBucket(_) => "all_reduce_bucket",
             Event::SolverInvocation(_) => "solver_invocation",
             Event::AnomalyDetected(_) => "anomaly",
+            Event::FaultInjected(_) => "fault_injected",
+            Event::RecoveryAction(_) => "recovery_action",
             Event::Counter(_) => "counter",
             Event::SpanBegin(_) => "span_begin",
             Event::SpanEnd(_) => "span_end",
@@ -350,6 +482,20 @@ pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
             ("observed".into(), Json::num(e.observed)),
             ("severity".into(), Json::num(e.severity)),
         ],
+        Event::FaultInjected(e) => vec![
+            ("kind".into(), Json::Str(e.kind.as_str().into())),
+            ("fault_node".into(), e.node.map_or(Json::Null, |n| Json::Num(f64::from(n)))),
+            ("step".into(), Json::Num(e.step as f64)),
+            ("attempts".into(), Json::Num(f64::from(e.attempts))),
+            ("magnitude".into(), Json::num(e.magnitude)),
+        ],
+        Event::RecoveryAction(e) => vec![
+            ("kind".into(), Json::Str(e.kind.as_str().into())),
+            ("recovery_node".into(), e.node.map_or(Json::Null, |n| Json::Num(f64::from(n)))),
+            ("step".into(), Json::Num(e.step as f64)),
+            ("attempt".into(), Json::Num(f64::from(e.attempt))),
+            ("backoff_ns".into(), Json::Num(e.backoff_ns as f64)),
+        ],
         Event::Counter(e) => vec![
             ("name".into(), Json::Str(e.name.clone())),
             ("value".into(), Json::num(e.value)),
@@ -441,6 +587,42 @@ fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
                 severity: req_f64(v, "severity")?,
             }))
         }
+        "fault_injected" => {
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(FaultKind::parse)
+                .ok_or("missing or unknown `kind`")?;
+            let node = match v.get("fault_node") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_u64().ok_or("mistyped `fault_node`")? as u32),
+            };
+            Ok(Event::FaultInjected(FaultInjected {
+                kind,
+                node,
+                step: req_u64(v, "step")?,
+                attempts: req_u64(v, "attempts")? as u32,
+                magnitude: req_f64(v, "magnitude")?,
+            }))
+        }
+        "recovery_action" => {
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(RecoveryKind::parse)
+                .ok_or("missing or unknown `kind`")?;
+            let node = match v.get("recovery_node") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_u64().ok_or("mistyped `recovery_node`")? as u32),
+            };
+            Ok(Event::RecoveryAction(RecoveryAction {
+                kind,
+                node,
+                step: req_u64(v, "step")?,
+                attempt: req_u64(v, "attempt")? as u32,
+                backoff_ns: req_u64(v, "backoff_ns")?,
+            }))
+        }
         "counter" => Ok(Event::Counter(Counter { name: req_str(v, "name")?, value: req_f64(v, "value")? })),
         "span_begin" => Ok(Event::SpanBegin(Span { name: req_str(v, "name")? })),
         "span_end" => Ok(Event::SpanEnd(Span { name: req_str(v, "name")? })),
@@ -499,6 +681,34 @@ mod tests {
                 observed: 1.5,
                 severity: 2.0,
             }),
+            Event::FaultInjected(FaultInjected {
+                kind: FaultKind::NodeCrash,
+                node: Some(1),
+                step: 12,
+                attempts: 1,
+                magnitude: 0.0,
+            }),
+            Event::FaultInjected(FaultInjected {
+                kind: FaultKind::CommTimeout,
+                node: None,
+                step: 3,
+                attempts: 4,
+                magnitude: 2.5,
+            }),
+            Event::RecoveryAction(RecoveryAction {
+                kind: RecoveryKind::CommRetry,
+                node: None,
+                step: 3,
+                attempt: 2,
+                backoff_ns: 4_000_000,
+            }),
+            Event::RecoveryAction(RecoveryAction {
+                kind: RecoveryKind::GroupShrink,
+                node: Some(1),
+                step: 12,
+                attempt: 0,
+                backoff_ns: 0,
+            }),
             Event::Counter(Counter { name: "epoch_time_s".into(), value: 12.5 }),
             Event::SpanBegin(Span { name: "epoch".into() }),
             Event::SpanEnd(Span { name: "epoch".into() }),
@@ -536,7 +746,7 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds: std::collections::HashSet<&str> = one_of_each().iter().map(Event::kind).collect();
-        assert_eq!(kinds.len(), 10);
+        assert_eq!(kinds.len(), 12);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! coefficients stay inside the simulator, exactly as a real cluster's
 //! physics stay inside the hardware.
 
-use crate::event::{Event, StepTiming};
+use crate::event::{Event, FaultInjected, StepTiming};
 use serde::{Deserialize, Serialize};
 
 /// What one node measures about itself during one batch.
@@ -62,12 +62,24 @@ pub struct BatchTrace {
     /// Completion time of each gradient bucket's synchronization, in
     /// reduction order, s from batch start.
     pub bucket_sync_end: Vec<f64>,
+    /// Faults that fired during this batch (empty on healthy batches).
+    /// A batch whose faults include a crash or an exhausted comm timeout
+    /// carries no usable observations — see [`BatchTrace::is_failed`].
+    #[serde(default)]
+    pub faults: Vec<FaultInjected>,
 }
 
 impl BatchTrace {
     /// The straggler's total compute time, s.
     pub fn max_compute(&self) -> f64 {
         self.observations.iter().map(|o| o.a_time + o.p_time).fold(0.0, f64::max)
+    }
+
+    /// Whether the batch failed outright: the gradients never synchronized,
+    /// so no sample from it may be counted.
+    pub fn is_failed(&self) -> bool {
+        use crate::event::FaultKind;
+        self.faults.iter().any(|f| matches!(f.kind, FaultKind::NodeCrash | FaultKind::CommTimeout))
     }
 }
 
@@ -116,13 +128,14 @@ mod tests {
             observations: vec![obs(0, 0.1, 0.2), obs(1, 0.3, 0.4)],
             batch_time: 0.75,
             bucket_sync_end: vec![0.7, 0.75],
+            faults: Vec::new(),
         };
         assert_eq!(trace.max_compute(), 0.7);
     }
 
     #[test]
     fn mean_batch_time() {
-        let b = BatchTrace { observations: vec![], batch_time: 0.5, bucket_sync_end: vec![] };
+        let b = BatchTrace { observations: vec![], batch_time: 0.5, bucket_sync_end: vec![], faults: vec![] };
         let e = EpochTrace { batches: vec![b.clone(), b], epoch_time: 1.0 };
         assert_eq!(e.mean_batch_time(), 0.5);
     }

@@ -27,6 +27,8 @@ fn main() {
         base_lr: 0.02,
         lr_scaler: LrScaler::AdaScale,
         seed: 42,
+        comm_faults: None,
+        retry: Default::default(),
     };
     let mut trainer = ParallelTrainer::new(dataset, |seed| mlp_classifier(10, 64, 32, seed), config);
 

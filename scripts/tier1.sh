@@ -16,4 +16,7 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo test --test chaos --release -q (all fault schedules)"
+cargo test --test chaos --release -q
+
 echo "tier-1: OK"

@@ -104,6 +104,8 @@ fn config() -> ParallelConfig {
         base_lr: 0.05,
         lr_scaler: LrScaler::AdaScale,
         seed: 9,
+        comm_faults: None,
+        retry: Default::default(),
     }
 }
 
