@@ -90,7 +90,12 @@ fn cannikin_recovers_from_a_crash_faster_than_static_ddp() {
     let sim = Simulator::new(cluster(), job.clone(), 21).with_fault_plan(plan);
     let mut config = TrainerConfig::new(6_400, 64, 512);
     config.adaptive_batch = false;
-    let mut cannikin = CannikinTrainer::new(sim, noise(), config);
+    let mut cannikin = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise())
+        .config(config)
+        .build()
+        .expect("valid config");
     let records = cannikin.train_until(target, 60).expect("cannikin run");
     let t_cannikin = time_to_target(&records, target).expect("cannikin reaches the target");
     assert!(records.iter().any(|r| r.faults > 0), "the crash must register");

@@ -22,7 +22,12 @@ fn bench_simulated_epoch(c: &mut Criterion) {
                 let cluster = clusters::cluster_b();
                 let sim = Simulator::new(cluster, profile.job.clone(), 3);
                 let config = TrainerConfig::new(10_000, 64, 2048);
-                CannikinTrainer::new(sim, Box::new(profile.noise), config)
+                CannikinTrainer::builder()
+                    .simulator(sim)
+                    .noise(profile.noise)
+                    .config(config)
+                    .build()
+                    .expect("valid config")
             },
             |mut trainer| {
                 for _ in 0..4 {
@@ -48,11 +53,17 @@ fn bench_parallel_epoch(c: &mut Criterion) {
                     seed: 5,
                     comm_faults: None,
                     retry: Default::default(),
+                    transport: Default::default(),
                 };
-                ParallelTrainer::new(ds, |seed| mlp_classifier(10, 16, 4, seed), config)
+                ParallelTrainer::builder()
+                    .dataset(ds)
+                    .model(|seed| mlp_classifier(10, 16, 4, seed))
+                    .config(config)
+                    .build()
+                    .expect("valid config")
             },
             |mut trainer| {
-                black_box(trainer.run_epoch());
+                black_box(trainer.run_epoch().expect("epoch"));
             },
         );
     });

@@ -104,7 +104,12 @@ pub fn elastic() -> String {
     let sim = Simulator::new(cluster, profile.job.clone(), 17);
     let mut config = TrainerConfig::new(12_800, 128, 128);
     config.adaptive_batch = false;
-    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(Box::new(profile.noise))
+        .config(config)
+        .build()
+        .expect("valid config");
 
     let mut out = String::from("§6 — elastic cluster membership (fixed B=128, ImageNet)\n");
     let widths = [6, 7, 16, 24];

@@ -36,7 +36,12 @@ pub fn faults() -> String {
     let mut config = TrainerConfig::new(dataset, total, 512);
     config.adaptive_batch = false;
     let noise: Box<dyn NoiseModel> = Box::new(profile.noise);
-    let mut cannikin = CannikinTrainer::new(sim, noise, config);
+    let mut cannikin = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise)
+        .config(config)
+        .build()
+        .expect("valid config");
     let records = cannikin.train_until(target, 60).expect("cannikin run");
 
     let mut out = String::from("Fault injection — crash at step 150, node 1 (ResNet-18/CIFAR-10, fixed B=64)\n");

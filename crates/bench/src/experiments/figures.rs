@@ -17,7 +17,12 @@ pub fn fig5() -> String {
     let cluster = clusters::cluster_b();
     let sim = Simulator::new(cluster, profile.job.clone(), 41);
     let config = TrainerConfig::new(profile.dataset_size, profile.base_batch, profile.max_batch);
-    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(Box::new(profile.noise))
+        .config(config)
+        .build()
+        .expect("valid config");
     let records = trainer.train_until(profile.target_effective_epochs(), 400).expect("run");
 
     let mut out = String::from("Fig 5 — batch sizes during CIFAR-10 training on cluster B (Cannikin)\n");
@@ -161,7 +166,12 @@ pub fn fig9() -> String {
     let sim = Simulator::new(cluster.clone(), profile.job.clone(), 91);
     let mut config = TrainerConfig::new(dataset, 128, 128);
     config.adaptive_batch = false;
-    let mut cannikin = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut cannikin = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(Box::new(profile.noise))
+        .config(config)
+        .build()
+        .expect("valid config");
     let can_records = cannikin.run_epochs(epochs).expect("cannikin run");
 
     let sim = Simulator::new(cluster.clone(), profile.job.clone(), 91);

@@ -27,7 +27,12 @@ pub fn insight_run() -> String {
     // contention, so the goodput dimension is pinned.
     let mut config = TrainerConfig::new(12_800, base, profile.max_batch);
     config.adaptive_batch = false;
-    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(Box::new(profile.noise))
+        .config(config)
+        .build()
+        .expect("valid config");
 
     let tag = next_session_tag();
     let insight_config = InsightConfig { only_rank: Some(tag), ..InsightConfig::default() };

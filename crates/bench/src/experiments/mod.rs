@@ -11,6 +11,7 @@ mod figures;
 mod insight;
 mod tables;
 mod telemetry;
+mod transport;
 
 pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic, multi_job};
 pub use discussion::{cluster_c_experiment, hetero_sweep};
@@ -19,6 +20,7 @@ pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
 pub use insight::insight_run;
 pub use tables::{table1, table6, table_prediction};
 pub use telemetry::{summarize, telemetry_summary};
+pub use transport::transport;
 
 /// Run every experiment in paper order, returning `(id, output)` pairs.
 pub fn all() -> Vec<(&'static str, String)> {
@@ -42,6 +44,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("multi_job", multi_job()),
         ("telemetry", telemetry_summary()),
         ("insight", insight_run()),
+        ("transport", transport()),
     ]
 }
 
@@ -67,6 +70,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "multi_job" => Some(multi_job()),
         "telemetry" => Some(telemetry_summary()),
         "insight" => Some(insight_run()),
+        "transport" => Some(transport()),
         _ => None,
     }
 }
@@ -93,5 +97,6 @@ pub fn ids() -> Vec<&'static str> {
         "multi_job",
         "telemetry",
         "insight",
+        "transport",
     ]
 }

@@ -20,7 +20,12 @@ pub fn telemetry_summary() -> String {
     let base = profile.base_batch.max(cluster.len() as u64);
     let sim = Simulator::new(cluster, profile.job.clone(), 151);
     let config = TrainerConfig::new(profile.dataset_size, base, profile.max_batch);
-    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(Box::new(profile.noise))
+        .config(config)
+        .build()
+        .expect("valid config");
 
     let tag = next_session_tag();
     let session = telemetry::Session::start();

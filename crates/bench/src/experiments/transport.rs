@@ -1,0 +1,111 @@
+//! Collective-transport comparison (ISSUE 5): the same training work over
+//! in-process channels versus real localhost TCP sockets — wall time,
+//! bytes on the wire, and the bitwise-equivalence check that justifies
+//! treating the backends as interchangeable.
+
+use crate::{fmt, row};
+use cannikin_collectives::{CommGroup, TransportKind};
+use cannikin_core::engine::ParallelTrainer;
+use minidnn::data::gaussian_blobs;
+use minidnn::models::mlp_classifier;
+use std::thread;
+use std::time::Instant;
+
+/// One raw weighted all-reduce of `elems` f32s over `n` ranks, returning
+/// (wall seconds, bytes sent per rank, rank-0 result bits).
+fn all_reduce_once(kind: &TransportKind, n: usize, elems: usize) -> (f64, u64, Vec<u32>) {
+    let comms = CommGroup::with_kind(n, kind, None).expect("group forms");
+    let start = Instant::now();
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|comm| {
+            thread::spawn(move || {
+                let mut data: Vec<f32> =
+                    (0..elems).map(|i| ((i * 31 + comm.rank() * 17) as f32).sin()).collect();
+                comm.weighted_all_reduce(&mut data, 1.0 / (comm.rank() + 2) as f32);
+                (comm.bytes_sent(), data)
+            })
+        })
+        .collect();
+    let results: Vec<(u64, Vec<f32>)> =
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+    let wall = start.elapsed().as_secs_f64();
+    let bytes = results[0].0;
+    let bits = results[0].1.iter().map(|v| v.to_bits()).collect();
+    (wall, bytes, bits)
+}
+
+/// One `ParallelTrainer` epoch on the given backend, returning
+/// (wall seconds, gradient bytes on the wire, first-epoch loss).
+fn epoch_once(kind: TransportKind) -> (f64, u64, f64) {
+    let mut trainer = ParallelTrainer::builder()
+        .dataset(gaussian_blobs(384, 6, 8, 19))
+        .model(|seed| mlp_classifier(8, 16, 6, seed))
+        .slowdowns(vec![1.0, 1.5, 2.0])
+        .batch_range(48, 96)
+        .adaptive(false)
+        .seed(11)
+        .transport(kind)
+        .build()
+        .expect("valid config");
+    let start = Instant::now();
+    let report = trainer.run_epoch().expect("epoch");
+    (start.elapsed().as_secs_f64(), report.comm_bytes, report.mean_loss)
+}
+
+/// Transport comparison: raw collectives and a real training epoch on
+/// each backend, plus the cross-backend bitwise check.
+pub fn transport() -> String {
+    let n = 3;
+    let elems = 60_000;
+    let mut out = String::from("Collective transports — identical work, in-process channels vs localhost TCP\n");
+    out += &format!("\nraw weighted all-reduce, {n} ranks x {elems} f32:\n");
+    let widths = [12, 12, 16, 14];
+    out += &row(
+        &["backend".into(), "wall (s)".into(), "bytes/rank".into(), "vs channels".into()],
+        &widths,
+    );
+    out.push('\n');
+
+    let mut reduce_bits = Vec::new();
+    let mut base_wall = None;
+    for kind in [TransportKind::InProcess, TransportKind::tcp()] {
+        let (wall, bytes, bits) = all_reduce_once(&kind, n, elems);
+        let slowdown = match base_wall {
+            None => {
+                base_wall = Some(wall);
+                "1.00x".to_string()
+            }
+            Some(base) => format!("{:.2}x", wall / base),
+        };
+        out += &row(
+            &[kind.label().into(), fmt(wall), bytes.to_string(), slowdown],
+            &widths,
+        );
+        out.push('\n');
+        reduce_bits.push(bits);
+    }
+    let bitwise = reduce_bits[0] == reduce_bits[1];
+    out += &format!("bitwise identical across backends: {bitwise}\n");
+    assert!(bitwise, "transport backends must agree bitwise");
+
+    out += &format!("\nparallel-trainer epoch, 3 ranks (MLP on gaussian blobs, B=48):\n");
+    out += &row(
+        &["backend".into(), "wall (s)".into(), "grad bytes".into(), "epoch-0 loss".into()],
+        &widths,
+    );
+    out.push('\n');
+    let mut losses = Vec::new();
+    for kind in [TransportKind::InProcess, TransportKind::tcp()] {
+        let label = kind.label();
+        let (wall, bytes, loss) = epoch_once(kind);
+        out += &row(&[label.into(), fmt(wall), bytes.to_string(), format!("{loss:.6}")], &widths);
+        out.push('\n');
+        losses.push(loss);
+    }
+    out += &format!(
+        "epoch-0 losses agree bitwise: {}\n",
+        losses[0].to_bits() == losses[1].to_bits()
+    );
+    out
+}

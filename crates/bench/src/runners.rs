@@ -63,7 +63,12 @@ pub fn run_to_target(
     match system {
         System::Cannikin => {
             let config = TrainerConfig::new(profile.dataset_size, base, profile.max_batch);
-            let mut t = CannikinTrainer::new(sim, noise_box(profile), config);
+            let mut t = CannikinTrainer::builder()
+                .simulator(sim)
+                .noise_boxed(noise_box(profile))
+                .config(config)
+                .build()
+                .expect("valid config");
             t.train_until(target, max_epochs).expect("cannikin run failed")
         }
         System::Adaptdl => {

@@ -1,8 +1,12 @@
-//! # cannikin-collectives — in-process collective communication
+//! # cannikin-collectives — pluggable collective communication
 //!
-//! Functional (numerically real) collectives for data-parallel training
-//! across OS threads, mirroring the subset of NCCL that PyTorch
-//! DistributedDataParallel uses:
+//! Functional (numerically real) collectives for data-parallel training,
+//! mirroring the subset of NCCL that PyTorch DistributedDataParallel uses.
+//! Every collective is written once against the [`Transport`] trait and
+//! runs unchanged over either in-tree backend — crossbeam channels between
+//! OS threads ([`CommGroup::create`]) or real localhost TCP sockets with
+//! length-prefixed frames ([`CommGroup::tcp`]); results are bitwise
+//! identical across backends. Available collectives:
 //!
 //! - [`Communicator::all_reduce_sum`] — the bandwidth-optimal ring
 //!   all-reduce (reduce-scatter followed by all-gather, `2(n−1)` chunk
@@ -22,7 +26,9 @@
 //!   shared [`CommFaultPlan`] (see [`CommGroup::create_faulty`]).
 //!
 //! Every rank runs on its own thread and owns one [`Communicator`]; the
-//! group is created up front with [`CommGroup::create`]. All collectives
+//! group is created up front with [`CommGroup::create`] (in-process),
+//! [`CommGroup::tcp`] (sockets), or the backend-polymorphic
+//! [`CommGroup::with_kind`] driven by a [`TransportKind`]. All collectives
 //! must be called by every rank in the same order (the usual SPMD
 //! contract).
 //!
@@ -50,9 +56,13 @@
 
 mod resilience;
 mod ring;
+pub mod tcp;
+pub mod transport;
 
 pub use resilience::{CommError, CommFaultPlan, RetryPolicy};
 pub use ring::{CommGroup, Communicator};
+pub use tcp::{Rendezvous, TcpTransport};
+pub use transport::{InProcessTransport, Transport, TransportKind};
 
 /// Partition `total` gradient elements into `buckets` contiguous bucket
 /// ranges, mirroring DDP's fixed-capacity gradient buckets. The last bucket

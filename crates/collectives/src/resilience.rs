@@ -43,6 +43,13 @@ pub enum CommError {
         /// Attempts consumed (== the policy's `max_attempts`).
         attempts: u32,
     },
+    /// A transport-level I/O failure (socket setup, malformed frame, …).
+    Io {
+        /// Rank that observed the failure.
+        rank: usize,
+        /// Human-readable context from the transport.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -55,6 +62,7 @@ impl fmt::Display for CommError {
             CommError::RetriesExhausted { attempts } => {
                 write!(f, "collective failed after {attempts} attempts")
             }
+            CommError::Io { rank, detail } => write!(f, "rank {rank}: transport I/O error: {detail}"),
         }
     }
 }

@@ -1,11 +1,21 @@
-//! Ring all-reduce over crossbeam channels.
+//! Ring collectives written once against the [`Transport`] trait.
+//!
+//! The algorithms below never touch a socket or a channel directly — they
+//! move little-endian byte frames through whichever [`Transport`] backs the
+//! group (in-process crossbeam channels by default, localhost TCP via
+//! [`CommGroup::tcp`]). Gradient payloads travel as `f32` frames and metric
+//! gathers as `f64` frames, so results are bitwise identical across
+//! backends.
 
 use crate::resilience::{CommError, CommFaultPlan, RetryPolicy};
+use crate::tcp;
+use crate::transport::{
+    decode_f32, decode_f64, encode_f32, encode_f64, InProcessTransport, Transport, TransportKind,
+};
 use cannikin_telemetry::{self as telemetry, AllReduceBucket, Event, FaultInjected, FaultKind, RecoveryAction, RecoveryKind};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use std::cell::Cell;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Factory for a group of ring-connected [`Communicator`]s.
@@ -13,8 +23,8 @@ use std::time::Duration;
 pub struct CommGroup;
 
 impl CommGroup {
-    /// Create `n` communicators arranged in a ring. Move each one onto its
-    /// own thread.
+    /// Create `n` communicators arranged in a ring over the in-process
+    /// backend. Move each one onto its own thread.
     ///
     /// # Panics
     ///
@@ -36,26 +46,66 @@ impl CommGroup {
 
     fn build(n: usize, fault_plan: Option<Arc<CommFaultPlan>>) -> Vec<Communicator> {
         assert!(n > 0, "communicator group must have at least one rank");
-        let barrier = Arc::new(Barrier::new(n));
-        // Channel i carries messages from rank i to rank (i+1) % n.
-        let mut senders: Vec<Option<Sender<Vec<f64>>>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Option<Receiver<Vec<f64>>>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(Some(tx));
-            receivers.push(Some(rx));
-        }
-        (0..n)
-            .map(|rank| Communicator {
-                rank,
-                world: n,
-                send_next: senders[rank].take().expect("sender taken once"),
-                recv_prev: receivers[(rank + n - 1) % n].take().expect("receiver taken once"),
-                barrier: Arc::clone(&barrier),
-                seq: Cell::new(0),
-                fault_plan: fault_plan.clone(),
-            })
+        InProcessTransport::ring(n)
+            .into_iter()
+            .map(|t| Communicator::from_transport(Box::new(t), fault_plan.clone()))
             .collect()
+    }
+
+    /// Create `n` communicators connected over real localhost TCP sockets,
+    /// rendezvousing at `addr` (use `127.0.0.1:0` for an ephemeral port).
+    /// Returned rank-ordered; move each onto its own thread.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Io`] / [`CommError::Timeout`] if the ring cannot form.
+    pub fn tcp(addr: &str, n: usize) -> Result<Vec<Communicator>, CommError> {
+        Self::tcp_with_plan(addr, n, None)
+    }
+
+    /// [`CommGroup::tcp`] with a shared injected-failure plan (the TCP
+    /// analogue of [`CommGroup::create_faulty`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CommGroup::tcp`].
+    pub fn tcp_faulty(addr: &str, n: usize, plan: CommFaultPlan) -> Result<Vec<Communicator>, CommError> {
+        Self::tcp_with_plan(addr, n, Some(Arc::new(plan)))
+    }
+
+    fn tcp_with_plan(
+        addr: &str,
+        n: usize,
+        fault_plan: Option<Arc<CommFaultPlan>>,
+    ) -> Result<Vec<Communicator>, CommError> {
+        assert!(n > 0, "communicator group must have at least one rank");
+        Ok(tcp::tcp_ring(addr, n)?
+            .into_iter()
+            .map(|t| Communicator::from_transport(Box::new(t), fault_plan.clone()))
+            .collect())
+    }
+
+    /// Backend-polymorphic factory: build the group on whichever transport
+    /// `kind` names. The in-process backend cannot fail; TCP propagates
+    /// setup errors.
+    ///
+    /// # Errors
+    ///
+    /// As [`CommGroup::tcp`] for the TCP backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_kind(
+        n: usize,
+        kind: &TransportKind,
+        plan: Option<CommFaultPlan>,
+    ) -> Result<Vec<Communicator>, CommError> {
+        let plan = plan.map(Arc::new);
+        match kind {
+            TransportKind::InProcess => Ok(Self::build(n, plan)),
+            TransportKind::Tcp { rendezvous } => Self::tcp_with_plan(rendezvous, n, plan),
+        }
     }
 }
 
@@ -65,11 +115,7 @@ impl CommGroup {
 /// the same order or the group deadlocks (the standard SPMD contract).
 #[derive(Debug)]
 pub struct Communicator {
-    rank: usize,
-    world: usize,
-    send_next: Sender<Vec<f64>>,
-    recv_prev: Receiver<Vec<f64>>,
-    barrier: Arc<Barrier>,
+    transport: Box<dyn Transport>,
     /// Count of *resilient* collectives issued so far — the key into the
     /// shared [`CommFaultPlan`]. Identical on every rank by the SPMD
     /// contract.
@@ -78,27 +124,57 @@ pub struct Communicator {
 }
 
 impl Communicator {
+    /// Wrap a transport endpoint in a communicator. This is how custom
+    /// [`Transport`] implementations join the collective layer.
+    pub fn from_transport(
+        transport: Box<dyn Transport>,
+        fault_plan: Option<Arc<CommFaultPlan>>,
+    ) -> Communicator {
+        Communicator { transport, seq: Cell::new(0), fault_plan }
+    }
+
     /// This rank's id, `0..world_size`.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks in the group.
     pub fn world_size(&self) -> usize {
-        self.world
+        self.transport.world_size()
+    }
+
+    /// Cumulative bytes this rank has put on the wire (payload plus any
+    /// backend framing overhead).
+    pub fn bytes_sent(&self) -> u64 {
+        self.transport.bytes_sent()
+    }
+
+    /// Cumulative bytes received from the wire.
+    pub fn bytes_received(&self) -> u64 {
+        self.transport.bytes_received()
     }
 
     /// Block until every rank reaches the barrier.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.transport.barrier().expect("ring peer disconnected");
     }
 
-    fn send(&self, data: Vec<f64>) {
-        self.send_next.send(data).expect("ring peer disconnected");
+    fn send(&self, data: &[f32]) {
+        self.transport.send(&encode_f32(data)).expect("ring peer disconnected");
     }
 
-    fn recv(&self) -> Vec<f64> {
-        self.recv_prev.recv().expect("ring peer disconnected")
+    fn recv(&self) -> Vec<f32> {
+        let frame = self.transport.recv().expect("ring peer disconnected");
+        decode_f32(&frame).expect("malformed f32 frame")
+    }
+
+    fn send_f64(&self, data: &[f64]) {
+        self.transport.send(&encode_f64(data)).expect("ring peer disconnected");
+    }
+
+    fn recv_f64(&self) -> Vec<f64> {
+        let frame = self.transport.recv().expect("ring peer disconnected");
+        decode_f64(&frame).expect("malformed f64 frame")
     }
 
     /// In-place sum all-reduce via ring reduce-scatter + all-gather.
@@ -107,33 +183,30 @@ impl Communicator {
     /// moves `2(n−1)/n` of the buffer per rank, the bandwidth-optimal
     /// schedule of Patarasuk & Yuan that NCCL implements.
     pub fn all_reduce_sum(&self, data: &mut [f32]) {
-        if self.world == 1 {
+        let n = self.world_size();
+        if n == 1 {
             return;
         }
-        let n = self.world;
+        let rank = self.rank();
         let chunks = ring_chunks(data.len(), n);
         // Reduce-scatter: after step s, rank r holds the running sum of
         // chunk (r - s) for s+1 ranks.
         for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s) % n;
-            let recv_idx = (self.rank + n - s - 1) % n;
-            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
-            self.send(payload);
+            let send_idx = (rank + n - s) % n;
+            let recv_idx = (rank + n - s - 1) % n;
+            self.send(&data[chunks[send_idx].clone()]);
             let incoming = self.recv();
             for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
-                *d += v as f32;
+                *d += v;
             }
         }
         // All-gather: circulate the fully reduced chunks.
         for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s + 1) % n;
-            let recv_idx = (self.rank + n - s) % n;
-            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
-            self.send(payload);
+            let send_idx = (rank + n - s + 1) % n;
+            let recv_idx = (rank + n - s) % n;
+            self.send(&data[chunks[send_idx].clone()]);
             let incoming = self.recv();
-            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
-                *d = v as f32;
-            }
+            data[chunks[recv_idx].clone()].copy_from_slice(&incoming);
         }
     }
 
@@ -142,7 +215,7 @@ impl Communicator {
     /// paper).
     pub fn all_reduce_mean(&self, data: &mut [f32]) {
         self.all_reduce_sum(data);
-        let inv = 1.0 / self.world as f32;
+        let inv = 1.0 / self.world_size() as f32;
         for v in data.iter_mut() {
             *v *= inv;
         }
@@ -173,12 +246,14 @@ impl Communicator {
         let record = telemetry::enabled();
         for (i, r) in ranges.into_iter().rev().enumerate() {
             let bucket_started = record.then(std::time::Instant::now);
+            let bytes_before = record.then(|| self.transport.bytes_sent());
             self.all_reduce_sum(&mut data[r.clone()]);
             if let Some(started) = bucket_started {
                 telemetry::emit(Event::AllReduceBucket(AllReduceBucket {
                     bucket: i as u32,
                     elems: r.len() as u64,
                     wall_ns: started.elapsed().as_nanos() as u64,
+                    bytes: self.transport.bytes_sent() - bytes_before.unwrap_or(0),
                 }));
             }
             order.push(r);
@@ -188,20 +263,19 @@ impl Communicator {
 
     /// Broadcast `data` from rank 0 to every rank (in place).
     pub fn broadcast(&self, data: &mut [f32]) {
-        if self.world == 1 {
+        let n = self.world_size();
+        if n == 1 {
             return;
         }
         // Pass rank 0's buffer around the ring; the last hop (into rank 0)
         // is skipped.
-        if self.rank == 0 {
-            self.send(data.iter().map(|&v| f64::from(v)).collect());
+        if self.rank() == 0 {
+            self.send(data);
         } else {
             let incoming = self.recv();
-            for (d, v) in data.iter_mut().zip(&incoming) {
-                *d = *v as f32;
-            }
-            if self.rank + 1 < self.world {
-                self.send(incoming);
+            data.copy_from_slice(&incoming[..data.len()]);
+            if self.rank() + 1 < n {
+                self.send(&incoming);
             }
         }
         self.barrier();
@@ -211,16 +285,17 @@ impl Communicator {
     /// every rank. Used for metric collection (per-node timings, gradient
     /// norms).
     pub fn all_gather_scalar(&self, value: f64) -> Vec<f64> {
-        if self.world == 1 {
+        let n = self.world_size();
+        if n == 1 {
             return vec![value];
         }
-        let mut out = vec![0.0f64; self.world];
-        out[self.rank] = value;
+        let mut out = vec![0.0f64; n];
+        out[self.rank()] = value;
         // Circulate: after n-1 hops every rank has seen every value.
-        let mut carry = vec![self.rank as f64, value];
-        for _ in 0..self.world - 1 {
-            self.send(carry);
-            carry = self.recv();
+        let mut carry = vec![self.rank() as f64, value];
+        for _ in 0..n - 1 {
+            self.send_f64(&carry);
+            carry = self.recv_f64();
             out[carry[0] as usize] = carry[1];
         }
         out
@@ -234,17 +309,18 @@ impl Communicator {
     /// Panics if ranks pass different lengths (detected as a length
     /// mismatch on receive).
     pub fn all_gather_vec(&self, values: &[f64]) -> Vec<Vec<f64>> {
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.world];
-        out[self.rank] = values.to_vec();
-        if self.world == 1 {
+        let n = self.world_size();
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
+        out[self.rank()] = values.to_vec();
+        if n == 1 {
             return out;
         }
         let mut carry = Vec::with_capacity(values.len() + 1);
-        carry.push(self.rank as f64);
+        carry.push(self.rank() as f64);
         carry.extend_from_slice(values);
-        for _ in 0..self.world - 1 {
-            self.send(carry);
-            carry = self.recv();
+        for _ in 0..n - 1 {
+            self.send_f64(&carry);
+            carry = self.recv_f64();
             assert_eq!(carry.len(), values.len() + 1, "all_gather_vec length mismatch across ranks");
             out[carry[0] as usize] = carry[1..].to_vec();
         }
@@ -445,6 +521,69 @@ mod tests {
             assert_eq!(b, 30.0);
         }
     }
+
+    #[test]
+    fn byte_counters_track_wire_traffic() {
+        let results = run_group(3, |c| {
+            let mut data = vec![1.0f32; 30];
+            c.all_reduce_sum(&mut data);
+            (c.bytes_sent(), c.bytes_received())
+        });
+        for (sent, received) in results {
+            // 2(n-1) chunk transfers of 10 f32s each = 4 × 40 bytes.
+            assert_eq!(sent, 160);
+            assert_eq!(received, 160);
+        }
+    }
+
+    #[test]
+    fn tcp_group_matches_in_process_bitwise() {
+        let in_process = run_group(3, |c| {
+            let mut data: Vec<f32> = (0..23).map(|i| (i as f32 + 0.5) * (c.rank() + 1) as f32).collect();
+            c.weighted_all_reduce(&mut data, 0.25 * (c.rank() + 1) as f32);
+            data
+        });
+        let comms = CommGroup::tcp("127.0.0.1:0", 3).expect("tcp ring forms");
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                thread::spawn(move || {
+                    let mut data: Vec<f32> =
+                        (0..23).map(|i| (i as f32 + 0.5) * (c.rank() + 1) as f32).collect();
+                    c.weighted_all_reduce(&mut data, 0.25 * (c.rank() + 1) as f32);
+                    assert!(c.bytes_sent() > 0, "tcp must count wire bytes");
+                    data
+                })
+            })
+            .collect();
+        let over_tcp: Vec<Vec<f32>> =
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+        for (a, b) in in_process.iter().zip(&over_tcp) {
+            let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "backends must agree bitwise");
+        }
+    }
+
+    #[test]
+    fn with_kind_builds_both_backends() {
+        for kind in [TransportKind::InProcess, TransportKind::tcp()] {
+            let comms = CommGroup::with_kind(2, &kind, None).expect("group forms");
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| {
+                    thread::spawn(move || {
+                        let mut data = vec![2.0f32; 4];
+                        c.all_reduce_sum(&mut data);
+                        data
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), vec![4.0; 4]);
+            }
+        }
+    }
 }
 
 impl Communicator {
@@ -454,60 +593,53 @@ impl Communicator {
     /// sums and must be treated as scratch. Returns this rank's chunk
     /// range.
     pub fn reduce_scatter(&self, data: &mut [f32]) -> std::ops::Range<usize> {
-        let n = self.world;
+        let n = self.world_size();
+        let rank = self.rank();
         let chunks = ring_chunks(data.len(), n);
         if n == 1 {
             return chunks[0].clone();
         }
         for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s) % n;
-            let recv_idx = (self.rank + n - s - 1) % n;
-            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
-            self.send(payload);
+            let send_idx = (rank + n - s) % n;
+            let recv_idx = (rank + n - s - 1) % n;
+            self.send(&data[chunks[send_idx].clone()]);
             let incoming = self.recv();
             for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
-                *d += v as f32;
+                *d += v;
             }
         }
         // After n−1 steps rank r holds the complete sum of chunk (r+1) % n.
-        chunks[(self.rank + 1) % n].clone()
+        chunks[(rank + 1) % n].clone()
     }
 
     /// Ring all-gather over the chunk layout produced by
     /// [`Communicator::reduce_scatter`]: every rank contributes its owned
     /// chunk and receives everyone else's, completing an all-reduce.
     pub fn all_gather_chunks(&self, data: &mut [f32]) {
-        let n = self.world;
+        let n = self.world_size();
         if n == 1 {
             return;
         }
+        let rank = self.rank();
         let chunks = ring_chunks(data.len(), n);
         for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s + 1) % n;
-            let recv_idx = (self.rank + n - s) % n;
-            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
-            self.send(payload);
+            let send_idx = (rank + n - s + 1) % n;
+            let recv_idx = (rank + n - s) % n;
+            self.send(&data[chunks[send_idx].clone()]);
             let incoming = self.recv();
-            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
-                *d = v as f32;
-            }
+            data[chunks[recv_idx].clone()].copy_from_slice(&incoming);
         }
     }
 }
 
 impl Communicator {
-    fn send_typed(&self, data: Vec<f64>) -> Result<(), CommError> {
-        self.send_next.send(data).map_err(|_| CommError::Dropped { rank: self.rank })
+    fn send_typed(&self, data: &[f32]) -> Result<(), CommError> {
+        self.transport.send(&encode_f32(data))
     }
 
-    fn recv_typed(&self, timeout: Duration) -> Result<Vec<f64>, CommError> {
-        self.recv_prev.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => CommError::Timeout {
-                rank: self.rank,
-                waited_ms: timeout.as_millis() as u64,
-            },
-            RecvTimeoutError::Disconnected => CommError::Dropped { rank: self.rank },
-        })
+    fn recv_typed(&self, timeout: Duration) -> Result<Vec<f32>, CommError> {
+        let frame = self.transport.recv_timeout(timeout)?;
+        decode_f32(&frame).map_err(|detail| CommError::Io { rank: self.rank(), detail })
     }
 
     /// [`Communicator::all_reduce_sum`] with a per-receive timeout and a
@@ -520,7 +652,7 @@ impl Communicator {
     /// [`CommError::Timeout`] if a ring receive exceeds `timeout`;
     /// [`CommError::Dropped`] if a peer endpoint is gone.
     pub fn all_reduce_sum_timeout(&self, data: &mut [f32], timeout: Duration) -> Result<(), CommError> {
-        if self.world == 1 {
+        if self.world_size() == 1 {
             return Ok(());
         }
         let snapshot = data.to_vec();
@@ -534,27 +666,24 @@ impl Communicator {
     }
 
     fn try_ring_all_reduce(&self, data: &mut [f32], timeout: Duration) -> Result<(), CommError> {
-        let n = self.world;
+        let n = self.world_size();
+        let rank = self.rank();
         let chunks = ring_chunks(data.len(), n);
         for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s) % n;
-            let recv_idx = (self.rank + n - s - 1) % n;
-            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
-            self.send_typed(payload)?;
+            let send_idx = (rank + n - s) % n;
+            let recv_idx = (rank + n - s - 1) % n;
+            self.send_typed(&data[chunks[send_idx].clone()])?;
             let incoming = self.recv_typed(timeout)?;
             for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
-                *d += v as f32;
+                *d += v;
             }
         }
         for s in 0..n - 1 {
-            let send_idx = (self.rank + n - s + 1) % n;
-            let recv_idx = (self.rank + n - s) % n;
-            let payload: Vec<f64> = data[chunks[send_idx].clone()].iter().map(|&v| f64::from(v)).collect();
-            self.send_typed(payload)?;
+            let send_idx = (rank + n - s + 1) % n;
+            let recv_idx = (rank + n - s) % n;
+            self.send_typed(&data[chunks[send_idx].clone()])?;
             let incoming = self.recv_typed(timeout)?;
-            for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
-                *d = v as f32;
-            }
+            data[chunks[recv_idx].clone()].copy_from_slice(&incoming);
         }
         Ok(())
     }
@@ -861,6 +990,32 @@ mod resilience_tests {
         for (first, second) in results {
             assert_eq!(first, 1);
             assert_eq!(second, 2);
+        }
+    }
+
+    #[test]
+    fn resilient_weighted_over_tcp_recovers() {
+        // The fault-injection machinery must be transport-agnostic: the
+        // same plan drives retries identically over real sockets.
+        let plan = CommFaultPlan::new().fail_at(0, 1);
+        let comms = CommGroup::tcp_faulty("127.0.0.1:0", 2, plan).expect("tcp ring forms");
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                thread::spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(c.rank() as u64);
+                    let mut data = vec![(c.rank() + 1) as f32; 4];
+                    let attempts = c
+                        .weighted_all_reduce_resilient(&mut data, 0.5, &fast_policy(), &mut rng)
+                        .expect("recovers");
+                    (attempts, data)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (attempts, data) = h.join().expect("rank panicked");
+            assert_eq!(attempts, 2);
+            assert_eq!(data, vec![1.5; 4]); // 0.5·1 + 0.5·2
         }
     }
 

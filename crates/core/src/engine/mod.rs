@@ -13,11 +13,14 @@
 //!
 //! Both produce [`EpochRecord`]s, the unit every figure harness consumes.
 
+mod builders;
 pub mod loader;
 pub mod parallel;
 mod trainer;
 
+pub use builders::{CannikinTrainerBuilder, ParallelTrainerBuilder};
 pub use loader::HeteroDataLoader;
+pub use parallel::{ParallelConfig, ParallelEpochReport, ParallelTrainer};
 pub use trainer::{CannikinTrainer, TrainerConfig};
 
 use crate::optperf::Bottleneck;

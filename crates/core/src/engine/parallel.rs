@@ -16,11 +16,12 @@
 //! OptPerf solver's Check 1 (equal compute times) is exact.
 
 use super::loader::HeteroDataLoader;
+use crate::error::CannikinError;
 use crate::gns::{estimate_gns, Aggregation, GnsEstimate, GnsTracker, GradientSample};
 use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
 
-use cannikin_collectives::{CommError, CommFaultPlan, CommGroup, RetryPolicy};
+use cannikin_collectives::{CommError, CommFaultPlan, CommGroup, RetryPolicy, TransportKind};
 use cannikin_insight::{HealthReport, Monitor};
 use cannikin_telemetry::{
     self as telemetry, AnomalyKind, Event, RecoveryAction, RecoveryKind, SplitDecision, SplitSource, StepTiming,
@@ -62,6 +63,10 @@ pub struct ParallelConfig {
     pub comm_faults: Option<CommFaultPlan>,
     /// Retry policy of the resilient path (only used with `comm_faults`).
     pub retry: RetryPolicy,
+    /// Collective backend for the gradient exchange: in-process channels
+    /// (default) or real localhost TCP sockets. Results are bitwise
+    /// identical across backends.
+    pub transport: TransportKind,
 }
 
 impl ParallelConfig {
@@ -78,6 +83,7 @@ impl ParallelConfig {
             seed: 17,
             comm_faults: None,
             retry: RetryPolicy::default(),
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -104,6 +110,10 @@ pub struct ParallelEpochReport {
     /// Gradient-exchange retries this epoch (injected-failure recoveries
     /// plus full-step retries; 0 on the non-resilient path).
     pub comm_retries: u32,
+    /// Bytes moved on the wire by this epoch's collectives, summed over
+    /// ranks (payload only for the in-process backend; payload plus frame
+    /// headers over TCP).
+    pub comm_bytes: u64,
 }
 
 /// Functional Cannikin trainer over OS threads.
@@ -129,9 +139,24 @@ impl ParallelTrainer {
     ///
     /// Panics if the config has no nodes or `base_batch` is smaller than
     /// the node count.
+    #[deprecated(note = "use ParallelTrainer::builder() instead")]
     pub fn new(
         dataset: ClassificationDataset,
         model_factory: impl Fn(u64) -> Sequential + Send + Sync + 'static,
+        config: ParallelConfig,
+    ) -> Self {
+        Self::from_parts(dataset, Arc::new(model_factory), config)
+    }
+
+    /// A fresh [`ParallelTrainerBuilder`](super::ParallelTrainerBuilder) —
+    /// the supported construction path.
+    pub fn builder() -> super::ParallelTrainerBuilder {
+        super::ParallelTrainerBuilder::new()
+    }
+
+    pub(crate) fn from_parts(
+        dataset: ClassificationDataset,
+        model_factory: Arc<dyn Fn(u64) -> Sequential + Send + Sync>,
         config: ParallelConfig,
     ) -> Self {
         let n = config.slowdowns.len();
@@ -149,7 +174,7 @@ impl ParallelTrainer {
             last_split: Vec::new(),
             weights,
             config,
-            model_factory: Arc::new(model_factory),
+            model_factory,
             monitor: None,
         }
     }
@@ -237,7 +262,13 @@ impl ParallelTrainer {
     }
 
     /// Run one epoch of real data-parallel training.
-    pub fn run_epoch(&mut self) -> ParallelEpochReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CannikinError::Comm`] when the comm group cannot be built (e.g.
+    /// TCP rendezvous failure) or a rank's gradient exchange fails beyond
+    /// recovery.
+    pub fn run_epoch(&mut self) -> Result<ParallelEpochReport, CannikinError> {
         let _epoch_span = telemetry::span("epoch");
         let n = self.config.slowdowns.len();
         let phi = self.tracker.noise_scale();
@@ -298,10 +329,7 @@ impl ParallelTrainer {
         // oversubscribes the machine.
         let kernel_threads = minidnn::tensor::threads::replica_share(n);
         let resilient = self.config.comm_faults.is_some();
-        let comms = match &self.config.comm_faults {
-            Some(plan) => CommGroup::create_faulty(n, plan.clone()),
-            None => CommGroup::create(n),
-        };
+        let comms = CommGroup::with_kind(n, &self.config.transport, self.config.comm_faults.clone())?;
         let started = Instant::now();
         let mut handles = Vec::new();
         for (rank, comm) in comms.into_iter().enumerate() {
@@ -334,11 +362,17 @@ impl ParallelTrainer {
                 })
             }));
         }
-        let mut rank_outputs: Vec<RankOutput> = handles
-            .into_iter()
-            .map(|h| h.join().expect("training rank panicked"))
-            .collect();
+        // Join every thread before propagating the first failure so no
+        // rank is left detached mid-collective.
+        let joined: Vec<Result<RankOutput, CommError>> =
+            handles.into_iter().map(|h| h.join().expect("training rank panicked")).collect();
+        let mut rank_outputs = Vec::with_capacity(joined.len());
+        for r in joined {
+            rank_outputs.push(r?);
+        }
         let epoch_time = started.elapsed().as_secs_f64();
+        let comm_bytes: u64 = rank_outputs.iter().map(|r| r.comm_bytes).sum();
+        telemetry::counter("comm_bytes", comm_bytes as f64);
 
         // ---- Absorb measurements (discarding thread warm-up steps:
         // freshly spawned ranks run their first batches with cold caches,
@@ -394,10 +428,11 @@ impl ParallelTrainer {
             noise_scale: self.tracker.noise_scale(),
             used_model,
             comm_retries,
+            comm_bytes,
         };
         self.epoch += 1;
         self.last_split = local;
-        report
+        Ok(report)
     }
 
     /// End-of-epoch health pass. The rank threads have already joined (and
@@ -488,6 +523,7 @@ struct RankOutput {
     gns_estimates: Vec<GnsEstimate>,
     step_measurements: Vec<StepMeasurement>,
     comm_retries: u32,
+    comm_bytes: u64,
 }
 
 /// A second split for within-epoch measurement: adjacent node pairs trade
@@ -521,7 +557,7 @@ fn measurement_variant(split: &[u64]) -> Vec<u64> {
     out
 }
 
-fn run_rank(args: RankArgs) -> RankOutput {
+fn run_rank(args: RankArgs) -> Result<RankOutput, CommError> {
     let RankArgs {
         comm,
         rank,
@@ -611,7 +647,7 @@ fn run_rank(args: RankArgs) -> RankOutput {
                             backoff_ns: 0,
                         }));
                     }
-                    Err(e) => panic!("rank {rank}: unrecoverable collective failure: {e}"),
+                    Err(e) => return Err(e),
                 }
             }
         } else {
@@ -654,14 +690,15 @@ fn run_rank(args: RankArgs) -> RankOutput {
             comm_time,
         });
     }
-    RankOutput {
+    Ok(RankOutput {
         rank,
         weights: flatten_values(&model.parameters()).into_data(),
         losses,
         gns_estimates,
         step_measurements: measurements,
         comm_retries,
-    }
+        comm_bytes: comm.bytes_sent(),
+    })
 }
 
 fn evaluate(model: &mut Sequential, dataset: &ClassificationDataset) -> f64 {
@@ -687,12 +724,18 @@ mod tests {
             seed: 5,
             comm_faults: None,
             retry: RetryPolicy::default(),
+            transport: TransportKind::InProcess,
         }
     }
 
     fn trainer(adaptive: bool) -> ParallelTrainer {
         let ds = gaussian_blobs(640, 4, 10, 3);
-        ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), config(adaptive))
+        ParallelTrainer::builder()
+            .dataset(ds)
+            .model(|seed| mlp_classifier(10, 24, 4, seed))
+            .config(config(adaptive))
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -700,9 +743,10 @@ mod tests {
         let mut t = trainer(false);
         let mut last = None;
         for _ in 0..4 {
-            last = Some(t.run_epoch());
+            last = Some(t.run_epoch().expect("epoch"));
         }
         let report = last.unwrap();
+        assert!(report.comm_bytes > 0, "gradient exchange must move bytes");
         assert!(report.accuracy > 0.9, "accuracy {}", report.accuracy);
         assert!(report.mean_loss < 0.5, "loss {}", report.mean_loss);
     }
@@ -710,7 +754,7 @@ mod tests {
     #[test]
     fn gns_becomes_available() {
         let mut t = trainer(false);
-        let r = t.run_epoch();
+        let r = t.run_epoch().expect("epoch");
         assert!(r.noise_scale.is_some(), "GNS should be estimable after one epoch");
         assert!(r.noise_scale.unwrap() > 0.0);
     }
@@ -725,7 +769,7 @@ mod tests {
         let mut slow_total = 0u64;
         let mut model_epochs = 0;
         for epoch in 0..6 {
-            let r = t.run_epoch();
+            let r = t.run_epoch().expect("epoch");
             if epoch >= 2 {
                 fast_total += r.local_batches[0];
                 slow_total += r.local_batches[1];
@@ -742,10 +786,10 @@ mod tests {
     #[test]
     fn losses_decrease_over_epochs() {
         let mut t = trainer(false);
-        let first = t.run_epoch();
-        let mut last = t.run_epoch();
+        let first = t.run_epoch().expect("epoch");
+        let mut last = t.run_epoch().expect("epoch");
         for _ in 0..2 {
-            last = t.run_epoch();
+            last = t.run_epoch().expect("epoch");
         }
         assert!(last.mean_loss < first.mean_loss, "{} -> {}", first.mean_loss, last.mean_loss);
     }
@@ -755,7 +799,7 @@ mod tests {
         // Same seed, same even epoch-0 split; the retried gradient
         // exchanges must produce bit-identical models — the strongest form
         // of "no sample lost, none double-counted".
-        let clean = trainer(false).run_epoch();
+        let clean = trainer(false).run_epoch().expect("epoch");
         let faulty = {
             let mut cfg = config(false);
             cfg.comm_faults = Some(CommFaultPlan::new().fail_at(0, 1).fail_at(5, 2).fail_at(12, 1));
@@ -765,8 +809,13 @@ mod tests {
                 ..RetryPolicy::default()
             };
             let ds = gaussian_blobs(640, 4, 10, 3);
-            let mut t = ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), cfg);
-            t.run_epoch()
+            let mut t = ParallelTrainer::builder()
+                .dataset(ds)
+                .model(|seed| mlp_classifier(10, 24, 4, seed))
+                .config(cfg)
+                .build()
+                .expect("valid config");
+            t.run_epoch().expect("epoch")
         };
         assert!(faulty.comm_retries > 0, "the seeded plan must inject failures");
         assert_eq!(clean.comm_retries, 0);
@@ -780,16 +829,21 @@ mod tests {
         let ds = gaussian_blobs(640, 4, 10, 3);
         let mut cfg = config(false);
         cfg.slowdowns = vec![1.0, 1.0, 2.0];
-        let mut t = ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), cfg);
-        let before = t.run_epoch();
+        let mut t = ParallelTrainer::builder()
+            .dataset(ds)
+            .model(|seed| mlp_classifier(10, 24, 4, seed))
+            .config(cfg)
+            .build()
+            .expect("valid config");
+        let before = t.run_epoch().expect("epoch");
         assert_eq!(before.local_batches.len(), 3);
         t.remove_rank(2);
         assert_eq!(t.world_size(), 2);
-        let mut last = t.run_epoch();
+        let mut last = t.run_epoch().expect("epoch");
         assert_eq!(last.local_batches.len(), 2, "group shrinks to the survivors");
         assert_eq!(last.local_batches.iter().sum::<u64>(), last.total_batch);
         for _ in 0..2 {
-            last = t.run_epoch();
+            last = t.run_epoch().expect("epoch");
         }
         assert!(
             last.mean_loss < before.mean_loss,
@@ -802,10 +856,10 @@ mod tests {
     #[test]
     fn rank_join_between_epochs_grows_the_group() {
         let mut t = trainer(false);
-        t.run_epoch();
+        t.run_epoch().expect("epoch");
         t.add_rank(1.0);
         assert_eq!(t.world_size(), 3);
-        let r = t.run_epoch();
+        let r = t.run_epoch().expect("epoch");
         assert_eq!(r.local_batches.len(), 3, "newcomer gets a share");
         assert!(r.local_batches.iter().all(|&b| b >= 1));
         assert_eq!(r.local_batches.iter().sum::<u64>(), r.total_batch);

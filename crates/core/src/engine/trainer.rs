@@ -7,6 +7,7 @@ use crate::goodput::GoodputEngine;
 use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
 
+use cannikin_collectives::{CommError, CommGroup, TransportKind};
 use cannikin_insight::{HealthReport, Monitor};
 use cannikin_telemetry::{
     self as telemetry, AnomalyKind, Event, FaultKind, RecoveryAction, RecoveryKind, SplitDecision, SplitSource,
@@ -64,6 +65,8 @@ pub struct CannikinTrainer {
     last_local: Vec<u64>,
     warm_started: bool,
     monitor: Option<Monitor>,
+    transport: Option<TransportKind>,
+    comm_bytes: u64,
 }
 
 impl CannikinTrainer {
@@ -72,7 +75,23 @@ impl CannikinTrainer {
     /// # Panics
     ///
     /// Panics if the batch range cannot accommodate one sample per node.
+    #[deprecated(note = "use CannikinTrainer::builder() instead")]
     pub fn new(sim: Simulator, noise: Box<dyn NoiseModel>, config: TrainerConfig) -> Self {
+        Self::from_parts(sim, noise, config, None)
+    }
+
+    /// A fresh [`CannikinTrainerBuilder`](super::CannikinTrainerBuilder) —
+    /// the supported construction path.
+    pub fn builder() -> super::CannikinTrainerBuilder {
+        super::CannikinTrainerBuilder::new()
+    }
+
+    pub(crate) fn from_parts(
+        sim: Simulator,
+        noise: Box<dyn NoiseModel>,
+        config: TrainerConfig,
+        transport: Option<TransportKind>,
+    ) -> Self {
         let n = sim.cluster().len();
         assert!(config.base_batch >= n as u64, "base batch must cover every node");
         let caps: Vec<Option<u64>> = (0..n).map(|i| Some(sim.max_local_batch(i))).collect();
@@ -90,7 +109,15 @@ impl CannikinTrainer {
             last_local: Vec::new(),
             warm_started: false,
             monitor: None,
+            transport,
+            comm_bytes: 0,
         }
+    }
+
+    /// Cumulative bytes moved on the wire by the per-epoch cluster-metric
+    /// exchange (0 when no transport is configured).
+    pub fn comm_bytes(&self) -> u64 {
+        self.comm_bytes
     }
 
     /// Attach an online [`Monitor`]: at the end of every epoch the trainer
@@ -393,6 +420,7 @@ impl CannikinTrainer {
 
         telemetry::counter("epoch_time_s", epoch_time);
         telemetry::counter("overhead_s", overhead_seconds);
+        self.exchange_metrics(&local)?;
         self.apply_health(n);
 
         let efficiency = statistical_efficiency(phi, self.config.base_batch, total);
@@ -420,6 +448,44 @@ impl CannikinTrainer {
         self.epoch += 1;
         self.last_local = local;
         Ok(record)
+    }
+
+    /// End-of-epoch cluster-metric exchange over a *real* comm group (the
+    /// configured [`TransportKind`]): every node all-gathers its local
+    /// batch size and fitted per-sample time, exactly the control-plane
+    /// traffic the distributed deployment pays each epoch. The
+    /// simulator-driven trainer has no gradients to move, so this is the
+    /// path that exercises real sockets (and their byte accounting) at
+    /// paper scale; a `comm_bytes` counter records the wire traffic.
+    fn exchange_metrics(&mut self, local: &[u64]) -> Result<(), CannikinError> {
+        let Some(kind) = self.transport.clone() else { return Ok(()) };
+        let n = local.len();
+        let comms = CommGroup::with_kind(n, &kind, None)?;
+        let _comm_span = telemetry::span("metric_exchange");
+        let mut handles = Vec::with_capacity(n);
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let row = vec![local[rank] as f64, self.analyzer.per_sample_time(rank).unwrap_or(0.0)];
+            handles.push(std::thread::spawn(move || {
+                let gathered = comm.all_gather_vec(&row);
+                (comm.bytes_sent(), gathered.len())
+            }));
+        }
+        let mut bytes = 0u64;
+        for h in handles {
+            let (sent, rows) = h.join().map_err(|_| {
+                CannikinError::Comm(CommError::Io { rank: 0, detail: "metric-exchange rank panicked".into() })
+            })?;
+            if rows != n {
+                return Err(CannikinError::Comm(CommError::Io {
+                    rank: 0,
+                    detail: format!("metric exchange gathered {rows} rows from {n} nodes"),
+                }));
+            }
+            bytes += sent;
+        }
+        telemetry::counter("comm_bytes", bytes as f64);
+        self.comm_bytes += bytes;
+        Ok(())
     }
 
     /// Mid-epoch split re-solve after an elastic membership change: keep
@@ -533,10 +599,15 @@ mod tests {
 
     fn trainer(adaptive: bool) -> CannikinTrainer {
         let sim = Simulator::new(cluster(), JobSpec::resnet18_cifar10(), 11);
-        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-        let mut config = TrainerConfig::new(50_000, 64, 4096);
-        config.adaptive_batch = adaptive;
-        CannikinTrainer::new(sim, noise, config)
+        CannikinTrainer::builder()
+            .simulator(sim)
+            .noise(LinearNoiseGrowth { initial: 300.0, rate: 1.0 })
+            .dataset_size(50_000)
+            .batch_range(64, 4096)
+            .adaptive_batch(adaptive)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -587,10 +658,14 @@ mod tests {
         // Use the compute-heavy ImageNet job: for the comm-dominated CIFAR
         // job at B=64, rebalancing cannot move the needle much.
         let sim = Simulator::new(cluster(), JobSpec::resnet50_imagenet(), 12);
-        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-        let mut config = TrainerConfig::new(20_000, 128, 1024);
-        config.adaptive_batch = false;
-        let mut t = CannikinTrainer::new(sim, noise, config);
+        let mut t = CannikinTrainer::builder()
+            .simulator(sim)
+            .dataset_size(20_000)
+            .batch_range(128, 1024)
+            .adaptive_batch(false)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config");
         let records = t.run_epochs(8).unwrap();
         let even_epoch = &records[0]; // even split
         let tuned = records.last().unwrap();
@@ -633,7 +708,6 @@ mod tests {
 #[cfg(test)]
 mod elastic_tests {
     use super::*;
-    use crate::engine::LinearNoiseGrowth;
     use hetsim::catalog::Gpu;
     use hetsim::cluster::{ClusterSpec, NodeSpec};
     use hetsim::job::JobSpec;
@@ -645,10 +719,14 @@ mod elastic_tests {
             vec![NodeSpec::new("v100-0", Gpu::V100), NodeSpec::new("rtx-0", Gpu::Rtx6000)],
         );
         let sim = Simulator::new(cluster, JobSpec::resnet50_imagenet(), 13);
-        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-        let mut config = TrainerConfig::new(12_800, 128, 128);
-        config.adaptive_batch = false;
-        let mut trainer = CannikinTrainer::new(sim, noise, config);
+        let mut trainer = CannikinTrainer::builder()
+            .simulator(sim)
+            .dataset_size(12_800)
+            .batch_range(128, 128)
+            .adaptive_batch(false)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config");
         let before = trainer.run_epochs(5).expect("run");
         let t_before = before.last().unwrap().mean_batch_time;
 
@@ -682,8 +760,13 @@ mod elastic_tests {
             ],
         );
         let sim = Simulator::new(cluster, JobSpec::resnet18_cifar10(), 14);
-        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-        let mut trainer = CannikinTrainer::new(sim, noise, TrainerConfig::new(50_000, 64, 1024));
+        let mut trainer = CannikinTrainer::builder()
+            .simulator(sim)
+            .dataset_size(50_000)
+            .batch_range(64, 1024)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config");
         trainer.run_epochs(4).expect("run");
         trainer.simulator_mut().remove_node(2);
         trainer.on_cluster_change();
@@ -699,7 +782,6 @@ mod elastic_tests {
 #[cfg(test)]
 mod fault_recovery_tests {
     use super::*;
-    use crate::engine::LinearNoiseGrowth;
     use hetsim::catalog::Gpu;
     use hetsim::cluster::{ClusterSpec, NodeSpec};
     use hetsim::job::JobSpec;
@@ -718,10 +800,14 @@ mod fault_recovery_tests {
 
     fn trainer_with(plan: FaultPlan) -> CannikinTrainer {
         let sim = Simulator::new(cluster(), JobSpec::resnet18_cifar10(), 21).with_fault_plan(plan);
-        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-        let mut config = TrainerConfig::new(6_400, 64, 512);
-        config.adaptive_batch = false;
-        CannikinTrainer::new(sim, noise, config)
+        CannikinTrainer::builder()
+            .simulator(sim)
+            .dataset_size(6_400)
+            .batch_range(64, 512)
+            .adaptive_batch(false)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config")
     }
 
     #[test]
@@ -790,10 +876,14 @@ mod fault_recovery_tests {
     fn faulty_run_converges_close_to_fault_free() {
         let healthy = {
             let sim = Simulator::new(cluster(), JobSpec::resnet18_cifar10(), 21);
-            let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-            let mut config = TrainerConfig::new(6_400, 64, 512);
-            config.adaptive_batch = false;
-            let mut t = CannikinTrainer::new(sim, noise, config);
+            let mut t = CannikinTrainer::builder()
+                .simulator(sim)
+                .dataset_size(6_400)
+                .batch_range(64, 512)
+                .adaptive_batch(false)
+                .transport(TransportKind::InProcess)
+                .build()
+                .expect("valid config");
             t.run_epochs(4).expect("run")
         };
         let faulty = {
@@ -813,7 +903,6 @@ mod fault_recovery_tests {
 #[cfg(test)]
 mod warm_start_tests {
     use super::*;
-    use crate::engine::LinearNoiseGrowth;
     use crate::optperf::SolverInput;
     use hetsim::catalog::Gpu;
     use hetsim::cluster::{ClusterSpec, NodeSpec};
@@ -832,11 +921,15 @@ mod warm_start_tests {
         let job = JobSpec::resnet50_imagenet();
         let checkpoint = SolverInput::from_ground_truth(&cluster, &job);
         let sim = Simulator::new(cluster, job, 19);
-        let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
-        let mut config = TrainerConfig::new(12_800, 128, 128);
-        config.adaptive_batch = false;
-        let mut trainer = CannikinTrainer::new(sim, noise, config);
-        trainer.warm_start(&checkpoint);
+        let mut trainer = CannikinTrainer::builder()
+            .simulator(sim)
+            .dataset_size(12_800)
+            .batch_range(128, 128)
+            .adaptive_batch(false)
+            .warm_start(checkpoint)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config");
         let records = trainer.run_epochs(3).expect("run");
         // Epoch 0 already uses the model — no even split, no Eq. (8) epoch.
         assert!(records[0].used_model, "warm start should skip the bootstrap");

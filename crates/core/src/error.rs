@@ -1,5 +1,6 @@
 //! Error type for `cannikin-core`.
 
+use cannikin_collectives::CommError;
 use std::error::Error;
 use std::fmt;
 
@@ -27,6 +28,13 @@ pub enum CannikinError {
     /// An estimator received invalid inputs (e.g. a local batch equal to
     /// the global batch, for which Eq. (10) is undefined).
     InvalidEstimate(String),
+    /// A builder or runtime option was rejected before any training ran
+    /// (bad env value, batch smaller than the node count, …).
+    InvalidConfig(String),
+    /// The collective layer failed (socket setup, dropped peer, exhausted
+    /// retries). Wraps the transport's [`CommError`] so engine recovery
+    /// paths can use `?`.
+    Comm(CommError),
 }
 
 impl fmt::Display for CannikinError {
@@ -40,11 +48,26 @@ impl fmt::Display for CannikinError {
             }
             CannikinError::SingularSystem(what) => write!(f, "singular linear system in {what}"),
             CannikinError::InvalidEstimate(msg) => write!(f, "invalid estimate: {msg}"),
+            CannikinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CannikinError::Comm(e) => write!(f, "collective communication failed: {e}"),
         }
     }
 }
 
-impl Error for CannikinError {}
+impl Error for CannikinError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CannikinError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CommError> for CannikinError {
+    fn from(e: CommError) -> Self {
+        CannikinError::Comm(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -56,6 +79,16 @@ mod tests {
         assert!(e.to_string().contains("infeasible"));
         assert!(CannikinError::ModelNotReady { node: 2 }.to_string().contains("node 2"));
         assert!(CannikinError::SingularSystem("gns").to_string().contains("gns"));
+    }
+
+    #[test]
+    fn comm_errors_convert_and_chain() {
+        let comm = CommError::Dropped { rank: 1 };
+        let e: CannikinError = comm.clone().into();
+        assert_eq!(e, CannikinError::Comm(comm));
+        assert!(e.to_string().contains("rank 1"));
+        assert!(e.source().is_some(), "wrapped comm error must be the source");
+        assert!(CannikinError::InvalidConfig("x".into()).source().is_none());
     }
 
     #[test]

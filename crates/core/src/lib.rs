@@ -52,6 +52,8 @@ pub mod linalg;
 pub mod optperf;
 pub mod perf;
 pub mod planner;
+pub mod runtime;
 pub mod sched;
 
 pub use error::CannikinError;
+pub use runtime::RuntimeOptions;

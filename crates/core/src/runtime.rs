@@ -1,0 +1,208 @@
+//! Typed runtime options consolidating the `CANNIKIN_*` environment knobs.
+//!
+//! Instead of each layer calling `std::env::var` ad hoc, [`RuntimeOptions::from_env`]
+//! parses every knob once into a typed struct:
+//!
+//! | Variable             | Meaning                                             |
+//! |----------------------|-----------------------------------------------------|
+//! | `CANNIKIN_TELEMETRY` | export targets, `format:path[,format:path]`         |
+//! | `CANNIKIN_THREADS`   | kernel thread budget for the minidnn matmul kernels |
+//! | `CANNIKIN_TRANSPORT` | collective backend: `inprocess`, `tcp`, `tcp:ADDR`  |
+//!
+//! **Precedence is builder > env > default**: a value set explicitly on a
+//! trainer builder always wins; an env variable fills in anything the
+//! builder left unset; the compiled-in default (in-process transport, auto
+//! thread budget, no telemetry export) covers the rest. The engine builders
+//! ([`crate::engine::CannikinTrainerBuilder`],
+//! [`crate::engine::ParallelTrainerBuilder`]) apply exactly this rule for
+//! the transport knob.
+
+use crate::error::CannikinError;
+use cannikin_collectives::TransportKind;
+use cannikin_telemetry::env::{parse_targets, ExportTarget};
+
+/// Name of the transport-selection environment variable.
+pub const TRANSPORT_ENV: &str = "CANNIKIN_TRANSPORT";
+
+/// Name of the kernel-thread-budget environment variable (the same one the
+/// minidnn kernels honour directly as their default-of-last-resort).
+pub const THREADS_ENV: &str = "CANNIKIN_THREADS";
+
+/// Re-export of the telemetry spec variable name for one-stop lookup.
+pub const TELEMETRY_ENV: &str = cannikin_telemetry::env::ENV_VAR;
+
+/// Every `CANNIKIN_*` knob, parsed once.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeOptions {
+    /// Telemetry export destinations from `CANNIKIN_TELEMETRY` (empty when
+    /// unset).
+    pub telemetry: Vec<ExportTarget>,
+    /// Kernel thread budget from `CANNIKIN_THREADS` (`None` = auto).
+    pub threads: Option<usize>,
+    /// Collective transport from `CANNIKIN_TRANSPORT` (`None` = unset; the
+    /// engines then default to [`TransportKind::InProcess`]).
+    pub transport: Option<TransportKind>,
+}
+
+impl RuntimeOptions {
+    /// Parse every knob from the process environment. Unset variables are
+    /// simply absent from the result; *set but malformed* values are hard
+    /// errors — a typo'd knob silently falling back to a default is how
+    /// benchmarks end up measuring the wrong backend.
+    ///
+    /// # Errors
+    ///
+    /// [`CannikinError::InvalidConfig`] naming the offending variable.
+    pub fn from_env() -> Result<Self, CannikinError> {
+        let mut options = RuntimeOptions::default();
+        if let Ok(spec) = std::env::var(TELEMETRY_ENV) {
+            options.telemetry = parse_targets(&spec)
+                .map_err(|e| CannikinError::InvalidConfig(format!("{TELEMETRY_ENV}: {e}")))?;
+        }
+        if let Ok(raw) = std::env::var(THREADS_ENV) {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                let threads: usize = trimmed.parse().map_err(|_| {
+                    CannikinError::InvalidConfig(format!("{THREADS_ENV}: `{raw}` is not a thread count"))
+                })?;
+                options.threads = Some(threads);
+            }
+        }
+        options.transport = Self::transport_from_env()?;
+        Ok(options)
+    }
+
+    /// Parse only the `CANNIKIN_TRANSPORT` knob (`None` when unset). The
+    /// engine builders use this so that an unrelated malformed variable
+    /// (say, a typo'd `CANNIKIN_THREADS`, which the kernels handle with
+    /// their own fallback) cannot fail a trainer that never reads it.
+    ///
+    /// # Errors
+    ///
+    /// [`CannikinError::InvalidConfig`] when the variable is set but
+    /// unparseable.
+    pub fn transport_from_env() -> Result<Option<TransportKind>, CannikinError> {
+        match std::env::var(TRANSPORT_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => raw
+                .trim()
+                .parse()
+                .map(Some)
+                .map_err(|e| CannikinError::InvalidConfig(format!("{TRANSPORT_ENV}: {e}"))),
+            _ => Ok(None),
+        }
+    }
+
+    /// The transport to use given an optional builder-level override:
+    /// builder > env > [`TransportKind::InProcess`].
+    pub fn resolve_transport(&self, builder: Option<TransportKind>) -> TransportKind {
+        builder.or_else(|| self.transport.clone()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process-global state; they run under one lock so
+    // parallel test threads never observe each other's variables.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_env<T>(vars: &[(&str, Option<&str>)], f: impl FnOnce() -> T) -> T {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let saved: Vec<(String, Option<String>)> =
+            vars.iter().map(|(k, _)| ((*k).to_string(), std::env::var(*k).ok())).collect();
+        for (k, v) in vars {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        let out = f();
+        for (k, v) in saved {
+            match v {
+                Some(v) => std::env::set_var(&k, v),
+                None => std::env::remove_var(&k),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unset_environment_yields_defaults() {
+        let options = with_env(
+            &[(TELEMETRY_ENV, None), (THREADS_ENV, None), (TRANSPORT_ENV, None)],
+            RuntimeOptions::from_env,
+        )
+        .expect("empty env parses");
+        assert!(options.telemetry.is_empty());
+        assert_eq!(options.threads, None);
+        assert_eq!(options.transport, None);
+        assert_eq!(options.resolve_transport(None), TransportKind::InProcess);
+    }
+
+    #[test]
+    fn set_knobs_parse_into_typed_values() {
+        let options = with_env(
+            &[
+                (TELEMETRY_ENV, Some("jsonl:/tmp/run.jsonl")),
+                (THREADS_ENV, Some("4")),
+                (TRANSPORT_ENV, Some("tcp:127.0.0.1:5000")),
+            ],
+            RuntimeOptions::from_env,
+        )
+        .expect("valid env parses");
+        assert_eq!(options.telemetry.len(), 1);
+        assert_eq!(options.threads, Some(4));
+        assert_eq!(
+            options.transport,
+            Some(TransportKind::Tcp { rendezvous: "127.0.0.1:5000".to_string() })
+        );
+    }
+
+    #[test]
+    fn malformed_knobs_are_hard_errors() {
+        for (var, value) in [
+            (TRANSPORT_ENV, "carrier-pigeon"),
+            (THREADS_ENV, "many"),
+            (TELEMETRY_ENV, "csv:/tmp/x"),
+        ] {
+            let err = with_env(
+                &[
+                    (TELEMETRY_ENV, (var == TELEMETRY_ENV).then_some(value)),
+                    (THREADS_ENV, (var == THREADS_ENV).then_some(value)),
+                    (TRANSPORT_ENV, (var == TRANSPORT_ENV).then_some(value)),
+                ],
+                RuntimeOptions::from_env,
+            )
+            .expect_err("malformed value must not be ignored");
+            assert!(err.to_string().contains(var), "{err} should name {var}");
+        }
+    }
+
+    #[test]
+    fn transport_parse_ignores_unrelated_knobs() {
+        // A typo'd CANNIKIN_THREADS must not fail a trainer build that only
+        // consults the transport variable (the kernels have their own
+        // lenient fallback for the thread budget).
+        let transport = with_env(
+            &[(THREADS_ENV, Some("garbage")), (TRANSPORT_ENV, Some("tcp"))],
+            RuntimeOptions::transport_from_env,
+        )
+        .expect("unrelated knob must not fail the transport parse");
+        assert_eq!(transport, Some(TransportKind::tcp()));
+    }
+
+    #[test]
+    fn builder_overrides_env_overrides_default() {
+        let from_env = RuntimeOptions {
+            transport: Some(TransportKind::tcp()),
+            ..RuntimeOptions::default()
+        };
+        // Builder wins.
+        assert_eq!(from_env.resolve_transport(Some(TransportKind::InProcess)), TransportKind::InProcess);
+        // Env fills in.
+        assert_eq!(from_env.resolve_transport(None), TransportKind::tcp());
+        // Default covers the rest.
+        assert_eq!(RuntimeOptions::default().resolve_transport(None), TransportKind::InProcess);
+    }
+}

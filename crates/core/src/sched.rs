@@ -133,7 +133,12 @@ impl MultiJobScheduler {
         let name = name.into();
         let cluster = ClusterSpec::new(name.clone(), nodes);
         let sim = Simulator::new(cluster, job, seed);
-        let trainer = CannikinTrainer::new(sim, noise, config);
+        let trainer = CannikinTrainer::builder()
+            .simulator(sim)
+            .noise_boxed(noise)
+            .config(config)
+            .build()
+            .expect("scheduler job config must cover its nodes");
         self.jobs.push(ScheduledJob {
             name,
             trainer,

@@ -550,7 +550,7 @@ mod tests {
     }
 
     fn bucket(rank: u32, bucket_ix: u32, elems: u64, wall_ns: u64) -> Record {
-        let mut r = rec(Event::AllReduceBucket(AllReduceBucket { bucket: bucket_ix, elems, wall_ns }));
+        let mut r = rec(Event::AllReduceBucket(AllReduceBucket { bucket: bucket_ix, elems, wall_ns, bytes: elems * 4 }));
         r.rank = rank;
         r
     }

@@ -115,6 +115,9 @@ pub struct AllReduceBucket {
     pub elems: u64,
     /// Wall time of the bucket's all-reduce, ns.
     pub wall_ns: u64,
+    /// Bytes this rank put on the wire for the bucket (frames sent by the
+    /// underlying transport; 0 in traces recorded before the field existed).
+    pub bytes: u64,
 }
 
 /// One OptPerf solver invocation (the Table 6 overhead unit).
@@ -466,6 +469,7 @@ pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
             ("bucket".into(), Json::Num(f64::from(e.bucket))),
             ("elems".into(), Json::Num(e.elems as f64)),
             ("wall_ns".into(), Json::Num(e.wall_ns as f64)),
+            ("bytes".into(), Json::Num(e.bytes as f64)),
         ],
         Event::SolverInvocation(e) => vec![
             ("wall_ns".into(), Json::Num(e.wall_ns as f64)),
@@ -560,6 +564,8 @@ fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
             bucket: req_u64(v, "bucket")? as u32,
             elems: req_u64(v, "elems")?,
             wall_ns: req_u64(v, "wall_ns")?,
+            // Absent in traces recorded before byte accounting existed.
+            bytes: v.get("bytes").and_then(Json::as_u64).unwrap_or(0),
         })),
         "solver_invocation" => Ok(Event::SolverInvocation(SolverInvocation {
             wall_ns: req_u64(v, "wall_ns")?,
@@ -663,7 +669,7 @@ mod tests {
             Event::SplitDecision(SplitDecision { total: 3, local: vec![1, 1, 1], predicted_t: None, source: SplitSource::EvenInit }),
             Event::GnsEstimated(GnsEstimated { b_noise: 310.5, grad_sq: 2.0, variance: 621.0, weights: vec![0.5, 0.25, 0.25] }),
             Event::GoodputEval(GoodputEval { phi: 300.0, total: 512, goodput: 123.5, accumulation: 2, candidates: 13, cache_rebuilt: true }),
-            Event::AllReduceBucket(AllReduceBucket { bucket: 3, elems: 4096, wall_ns: 1_250_000 }),
+            Event::AllReduceBucket(AllReduceBucket { bucket: 3, elems: 4096, wall_ns: 1_250_000, bytes: 16_384 }),
             Event::SolverInvocation(SolverInvocation { wall_ns: 42_000, total: 256, candidates: 1, solves: 5, boundary: 2 }),
             Event::AnomalyDetected(AnomalyDetected {
                 kind: AnomalyKind::Straggler,

@@ -35,6 +35,7 @@ fn run_multithreaded_session() -> Vec<Record> {
                             bucket: 0,
                             elems: 1024,
                             wall_ns: 5_000,
+                            bytes: 4096,
                         }));
                     }
                 })

@@ -10,8 +10,7 @@
 //! splits) — and prints time-to-target for each.
 
 use cannikin::baselines::DdpTrainer;
-use cannikin::core::engine::{CannikinTrainer, LinearNoiseGrowth, TrainerConfig};
-use cannikin::sim::Simulator;
+use cannikin::prelude::*;
 use cannikin::workloads::{clusters, profiles};
 
 fn main() {
@@ -28,15 +27,25 @@ fn main() {
     let t_ddp = ddp_records.last().expect("ran").cumulative_time;
 
     // 2. Cannikin, batch pinned: only the local split adapts.
-    let mut config = TrainerConfig::new(profile.dataset_size, 64, profile.max_batch);
-    config.adaptive_batch = false;
-    let mut fixed = CannikinTrainer::new(Simulator::new(cluster.clone(), profile.job.clone(), 5), noise(), config);
+    let mut fixed = CannikinTrainer::builder()
+        .simulator(Simulator::new(cluster.clone(), profile.job.clone(), 5))
+        .noise_boxed(noise())
+        .dataset_size(profile.dataset_size)
+        .batch_range(64, profile.max_batch)
+        .adaptive_batch(false)
+        .build()
+        .expect("valid configuration");
     let fixed_records = fixed.train_until(target, 5000).expect("run");
     let t_fixed = fixed_records.last().expect("ran").cumulative_time;
 
     // 3. Full Cannikin.
-    let config = TrainerConfig::new(profile.dataset_size, 64, profile.max_batch);
-    let mut full = CannikinTrainer::new(Simulator::new(cluster.clone(), profile.job.clone(), 5), noise(), config);
+    let mut full = CannikinTrainer::builder()
+        .simulator(Simulator::new(cluster.clone(), profile.job.clone(), 5))
+        .noise_boxed(noise())
+        .dataset_size(profile.dataset_size)
+        .batch_range(64, profile.max_batch)
+        .build()
+        .expect("valid configuration");
     let full_records = full.train_until(target, 5000).expect("run");
     let t_full = full_records.last().expect("ran").cumulative_time;
     let b_final = full_records.last().expect("ran").total_batch;

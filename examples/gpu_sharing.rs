@@ -10,8 +10,7 @@
 //! contention changes mid-run, the continuously learned models re-converge
 //! within a few epochs.
 
-use cannikin::core::engine::{CannikinTrainer, TrainerConfig};
-use cannikin::sim::Simulator;
+use cannikin::prelude::*;
 use cannikin::workloads::{clusters, profiles};
 
 fn main() {
@@ -24,9 +23,14 @@ fn main() {
     );
 
     let sim = Simulator::new(cluster, profile.job.clone(), 7);
-    let mut config = TrainerConfig::new(profile.dataset_size, 512, 512);
-    config.adaptive_batch = false; // isolate the split adaptation
-    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise(profile.noise)
+        .dataset_size(profile.dataset_size)
+        .batch_range(512, 512)
+        .adaptive_batch(false) // isolate the split adaptation
+        .build()
+        .expect("valid configuration");
 
     println!("{:>5}  {:>14}  {:>12}  {:>12}", "epoch", "batch time (s)", "b[busiest]", "b[idle]");
     for epoch in 0..14 {

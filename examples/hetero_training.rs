@@ -12,30 +12,28 @@
 //! control loop rebalances the local batches once its performance models
 //! are learned.
 
-use cannikin::core::engine::parallel::{ParallelConfig, ParallelTrainer};
 use cannikin::dnn::data::gaussian_blobs;
-use cannikin::dnn::lr::LrScaler;
 use cannikin::dnn::models::mlp_classifier;
+use cannikin::prelude::*;
 
 fn main() {
     let dataset = gaussian_blobs(9216, 32, 10, 11); // 32 overlapping classes in 10-D
-    let config = ParallelConfig {
-        slowdowns: vec![1.0, 2.0, 4.0],
-        base_batch: 96,
-        max_batch: 768,
-        adaptive: true,
-        base_lr: 0.02,
-        lr_scaler: LrScaler::AdaScale,
-        seed: 42,
-        comm_faults: None,
-        retry: Default::default(),
-    };
-    let mut trainer = ParallelTrainer::new(dataset, |seed| mlp_classifier(10, 64, 32, seed), config);
+    let mut trainer = ParallelTrainer::builder()
+        .dataset(dataset)
+        .model(|seed| mlp_classifier(10, 64, 32, seed))
+        .slowdowns(vec![1.0, 2.0, 4.0])
+        .batch_range(96, 768)
+        .adaptive(true)
+        .base_lr(0.02)
+        .lr_scaler(LrScaler::AdaScale)
+        .seed(42)
+        .build()
+        .expect("valid configuration");
 
     println!("3 emulated nodes (slowdowns 1x / 2x / 4x), 9216-sample synthetic task\n");
     println!("{:>5}  {:>6}  {:>16}  {:>9}  {:>8}  {:>8}  {:>9}  {:>6}", "epoch", "B", "split", "time (s)", "loss", "acc", "GNS", "model");
     for _ in 0..8 {
-        let r = trainer.run_epoch();
+        let r = trainer.run_epoch().expect("epoch");
         println!(
             "{:>5}  {:>6}  {:>16}  {:>9.3}  {:>8.4}  {:>7.1}%  {:>9}  {:>6}",
             r.epoch,

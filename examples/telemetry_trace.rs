@@ -13,8 +13,7 @@
 //! If `CANNIKIN_TELEMETRY=jsonl:/path[,chrome:/path]` is set, the stream
 //! is additionally exported to those targets.
 
-use cannikin::core::engine::{CannikinTrainer, TrainerConfig};
-use cannikin::sim::Simulator;
+use cannikin::prelude::*;
 use cannikin::telemetry::{self, export};
 use cannikin::workloads::{clusters, profiles};
 
@@ -25,8 +24,13 @@ fn main() {
 
     let base = profile.base_batch.max(cluster.len() as u64);
     let sim = Simulator::new(cluster, profile.job.clone(), 17);
-    let config = TrainerConfig::new(profile.dataset_size, base, profile.max_batch);
-    let mut trainer = CannikinTrainer::new(sim, Box::new(profile.noise), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise(profile.noise)
+        .dataset_size(profile.dataset_size)
+        .batch_range(base, profile.max_batch)
+        .build()
+        .expect("valid configuration");
 
     let session = telemetry::Session::start();
     let _identity = telemetry::set_thread_identity(0, 0);

@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 echo "==> cargo test --test chaos --release -q (all fault schedules)"
 cargo test --test chaos --release -q
 

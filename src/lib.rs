@@ -29,13 +29,34 @@
 //!
 //! ## Quickstart
 //!
+//! Everyday types live in the [`prelude`]; trainers are constructed with
+//! fluent builders:
+//!
 //! ```
-//! use cannikin::core::optperf::{OptPerfSolver, SolverInput};
+//! use cannikin::prelude::*;
 //! use cannikin::workloads::{clusters, profiles};
 //!
-//! // Build cluster B (the paper's 16-GPU heterogeneous cluster) and the
-//! // ResNet-18/CIFAR-10 workload profile, then ask the solver for the
-//! // optimal local batch split at a total batch size of 512.
+//! // Train the paper's 16-GPU cluster B on ResNet-18/CIFAR-10 for two
+//! // epochs under the full Cannikin pipeline.
+//! let profile = profiles::cifar10_resnet18();
+//! let mut trainer = CannikinTrainer::builder()
+//!     .simulator(Simulator::new(clusters::cluster_b(), profile.job, 7))
+//!     .noise(profile.noise)
+//!     .dataset_size(profile.dataset_size)
+//!     .batch_range(profile.base_batch, profile.max_batch)
+//!     .transport(TransportKind::InProcess) // or TransportKind::tcp()
+//!     .build()
+//!     .expect("valid configuration");
+//! let records = trainer.run_epochs(2).expect("training runs");
+//! assert_eq!(records.len(), 2);
+//! ```
+//!
+//! The lower layers remain directly accessible, e.g. one OptPerf solve:
+//!
+//! ```
+//! use cannikin::prelude::*;
+//! use cannikin::workloads::{clusters, profiles};
+//!
 //! let cluster = clusters::cluster_b();
 //! let profile = profiles::cifar10_resnet18();
 //! let input = SolverInput::from_ground_truth(&cluster, &profile.job);
@@ -51,3 +72,30 @@ pub use cannikin_telemetry as telemetry;
 pub use cannikin_workloads as workloads;
 pub use hetsim as sim;
 pub use minidnn as dnn;
+
+/// The everyday API in one import: `use cannikin::prelude::*;`.
+///
+/// Re-exports the two trainers and their builders, their config/report
+/// types, the error type, the runtime-options struct, the OptPerf solver,
+/// the simulator and cluster-description types, the collective layer
+/// (including the pluggable [`TransportKind`](prelude::TransportKind)),
+/// and the health monitor. Specialized types stay at their crate paths
+/// (`cannikin::core::gns`, `cannikin::telemetry`, …).
+pub mod prelude {
+    pub use cannikin_collectives::{
+        CommError, CommFaultPlan, CommGroup, Communicator, RetryPolicy, Transport, TransportKind,
+    };
+    pub use cannikin_core::engine::{
+        CannikinTrainer, CannikinTrainerBuilder, EpochRecord, LinearNoiseGrowth, NoiseModel, ParallelConfig,
+        ParallelEpochReport, ParallelTrainer, ParallelTrainerBuilder, TrainerConfig,
+    };
+    pub use cannikin_core::optperf::{OptPerfSolver, SolverInput};
+    pub use cannikin_core::{CannikinError, RuntimeOptions};
+    pub use cannikin_insight::Monitor;
+    pub use cannikin_telemetry::Session;
+    pub use hetsim::catalog::Gpu;
+    pub use hetsim::cluster::{ClusterSpec, NodeSpec};
+    pub use hetsim::job::JobSpec;
+    pub use hetsim::{FaultPlan, Simulator};
+    pub use minidnn::lr::LrScaler;
+}

@@ -12,7 +12,7 @@
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-use cannikin::collectives::{CommFaultPlan, RetryPolicy};
+use cannikin::collectives::{CommFaultPlan, RetryPolicy, TransportKind};
 use cannikin::core::engine::parallel::{ParallelConfig, ParallelEpochReport, ParallelTrainer};
 use cannikin::core::engine::{CannikinTrainer, EpochRecord, LinearNoiseGrowth, NoiseModel, TrainerConfig};
 use cannikin::dnn::data::gaussian_blobs;
@@ -90,7 +90,12 @@ fn run_sim_schedule(name: &str, seed: u64) -> SimRun {
     let sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), seed).with_fault_plan(plan(name, seed));
     let mut config = TrainerConfig::new(6_400, 64, 512);
     config.adaptive_batch = false;
-    let mut trainer = CannikinTrainer::new(sim, noise(), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise())
+        .config(config)
+        .build()
+        .expect("valid config");
     let records = trainer.run_epochs(4).expect("chaos epochs");
 
     telemetry::flush_thread();
@@ -109,7 +114,14 @@ fn run_sim_clean(cluster: ClusterSpec, seed: u64) -> Vec<EpochRecord> {
     let sim = Simulator::new(cluster, JobSpec::resnet18_cifar10(), seed);
     let mut config = TrainerConfig::new(6_400, 64, 512);
     config.adaptive_batch = false;
-    CannikinTrainer::new(sim, noise(), config).run_epochs(4).expect("clean epochs")
+    CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise())
+        .config(config)
+        .build()
+        .expect("valid config")
+        .run_epochs(4)
+        .expect("clean epochs")
 }
 
 /// JSONL lines with the only non-deterministic fields — real wall-clock
@@ -293,6 +305,7 @@ fn parallel_config(n: usize, seed: u64) -> ParallelConfig {
         seed,
         comm_faults: None,
         retry: RetryPolicy::default(),
+        transport: TransportKind::InProcess,
     }
 }
 
@@ -308,8 +321,13 @@ fn fast_retry() -> RetryPolicy {
 
 fn run_parallel(config: ParallelConfig, epochs: usize) -> Vec<ParallelEpochReport> {
     let ds = gaussian_blobs(384, 6, 8, 17);
-    let mut trainer = ParallelTrainer::new(ds, |seed| mlp_classifier(8, 16, 6, seed), config);
-    (0..epochs).map(|_| trainer.run_epoch()).collect()
+    let mut trainer = ParallelTrainer::builder()
+        .dataset(ds)
+        .model(|seed| mlp_classifier(8, 16, 6, seed))
+        .config(config)
+        .build()
+        .expect("valid config");
+    (0..epochs).map(|_| trainer.run_epoch().expect("epoch")).collect()
 }
 
 #[test]
@@ -358,12 +376,17 @@ fn chaos_parallel_elastic_membership() {
     }
     let _serial = telemetry_lock();
     let ds = gaussian_blobs(384, 6, 8, 17);
-    let mut trainer = ParallelTrainer::new(ds, |seed| mlp_classifier(8, 16, 6, seed), parallel_config(3, 7));
-    let mut reports = vec![trainer.run_epoch(), trainer.run_epoch()];
+    let mut trainer = ParallelTrainer::builder()
+        .dataset(ds)
+        .model(|seed| mlp_classifier(8, 16, 6, seed))
+        .config(parallel_config(3, 7))
+        .build()
+        .expect("valid config");
+    let mut reports = vec![trainer.run_epoch().expect("epoch"), trainer.run_epoch().expect("epoch")];
     trainer.remove_rank(1); // crash detected between epochs
-    reports.push(trainer.run_epoch());
+    reports.push(trainer.run_epoch().expect("epoch"));
     trainer.add_rank(1.5); // replacement (slower) capacity arrives
-    reports.push(trainer.run_epoch());
+    reports.push(trainer.run_epoch().expect("epoch"));
 
     assert_eq!(reports[1].local_batches.len(), 3);
     assert_eq!(reports[2].local_batches.len(), 2, "shrunk group");

@@ -19,7 +19,12 @@ fn cannikin_run_invariants_on_cluster_b() {
     let cluster = clusters::cluster_b();
     let sim = Simulator::new(cluster.clone(), profile.job.clone(), 71);
     let config = TrainerConfig::new(profile.dataset_size, 64, profile.max_batch);
-    let mut trainer = CannikinTrainer::new(sim, noise(&profile), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise(&profile))
+        .config(config)
+        .build()
+        .expect("valid config");
     let records = trainer.run_epochs(30).expect("run");
 
     for r in &records {
@@ -51,7 +56,12 @@ fn learned_models_converge_to_ground_truth() {
     let cluster = clusters::cluster_a();
     let sim = Simulator::new(cluster.clone(), profile.job.clone(), 72);
     let config = TrainerConfig::new(12_800, 128, 1024);
-    let mut trainer = CannikinTrainer::new(sim, noise(&profile), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise(&profile))
+        .config(config)
+        .build()
+        .expect("valid config");
     trainer.run_epochs(10).expect("run");
 
     let oracle = Simulator::new(cluster, profile.job.clone(), 0);
@@ -73,7 +83,12 @@ fn cannikin_beats_every_baseline_on_cifar_cluster_b() {
 
     let sim = || Simulator::new(cluster.clone(), profile.job.clone(), 73);
     let config = TrainerConfig::new(profile.dataset_size, 64, profile.max_batch);
-    let mut cannikin = CannikinTrainer::new(sim(), noise(&profile), config);
+    let mut cannikin = CannikinTrainer::builder()
+        .simulator(sim())
+        .noise_boxed(noise(&profile))
+        .config(config)
+        .build()
+        .expect("valid config");
     let t_cannikin = cannikin.train_until(target, 3000).expect("run").last().unwrap().cumulative_time;
 
     let mut adaptdl = AdaptdlTrainer::new(sim(), noise(&profile), profile.dataset_size, 64, profile.max_batch);
@@ -105,7 +120,12 @@ fn ivw_ablation_matters_under_biased_observers() {
         let sim = Simulator::new(cluster.clone(), profile.job.clone(), 74);
         let mut config = TrainerConfig::new(12_800, 128, 1024);
         config.aggregation = aggregation;
-        let mut trainer = CannikinTrainer::new(sim, noise(&profile), config);
+        let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise(&profile))
+        .config(config)
+        .build()
+        .expect("valid config");
         trainer.run_epochs(6).expect("run");
         errs.push((trainer.analyzer().t_comm().expect("comm") - t_comm_true).abs() / t_comm_true);
     }
@@ -122,7 +142,12 @@ fn contention_change_is_absorbed_within_a_few_epochs() {
     let sim = Simulator::new(cluster, profile.job.clone(), 75);
     let mut config = TrainerConfig::new(50_000, 512, 512);
     config.adaptive_batch = false;
-    let mut trainer = CannikinTrainer::new(sim, noise(&profile), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise(&profile))
+        .config(config)
+        .build()
+        .expect("valid config");
     let before = trainer.run_epochs(6).expect("run");
     let share_before = *before.last().unwrap().local_batches.last().unwrap();
 
@@ -144,7 +169,12 @@ fn oracle_solver_and_trainer_agree_at_convergence() {
     let sim = Simulator::new(cluster.clone(), profile.job.clone(), 76);
     let mut config = TrainerConfig::new(128 * 50, 128, 128);
     config.adaptive_batch = false;
-    let mut trainer = CannikinTrainer::new(sim, noise(&profile), config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise(&profile))
+        .config(config)
+        .build()
+        .expect("valid config");
     let records = trainer.run_epochs(8).expect("run");
 
     let mut oracle = OptPerfSolver::new(SolverInput::from_ground_truth(&cluster, &profile.job));

@@ -48,7 +48,12 @@ proptest! {
         let sim = Simulator::new(cluster, job, seed);
         let noise = Box::new(LinearNoiseGrowth { initial: phi0, rate: 0.5 });
         let config = TrainerConfig::new(base as usize * 40, base, base * 16);
-        let mut trainer = CannikinTrainer::new(sim, noise, config);
+        let mut trainer = CannikinTrainer::builder()
+            .simulator(sim)
+            .noise_boxed(noise)
+            .config(config)
+            .build()
+            .expect("valid config");
         let records = trainer.run_epochs(6).expect("run");
         for r in &records {
             prop_assert_eq!(r.local_batches.len(), n);
@@ -83,7 +88,12 @@ proptest! {
         let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 0.5 });
         let mut config = TrainerConfig::new(total as usize * 30, total, total);
         config.adaptive_batch = false;
-        let mut trainer = CannikinTrainer::new(sim, noise, config);
+        let mut trainer = CannikinTrainer::builder()
+            .simulator(sim)
+            .noise_boxed(noise)
+            .config(config)
+            .build()
+            .expect("valid config");
         let records = trainer.run_epochs(5).expect("run");
         let tuned = records.last().unwrap();
         let ideal_tuned = oracle.ideal_batch_time(&tuned.local_batches);

@@ -33,7 +33,12 @@ fn straggler_roundtrip_detect_replan_replay() {
     let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 1.0 });
     let mut config = TrainerConfig::new(20_000, 128, 1024);
     config.adaptive_batch = false;
-    let mut trainer = CannikinTrainer::new(sim, noise, config);
+    let mut trainer = CannikinTrainer::builder()
+        .simulator(sim)
+        .noise_boxed(noise)
+        .config(config)
+        .build()
+        .expect("valid config");
 
     let monitor = Monitor::install(InsightConfig::default());
     trainer.attach_monitor(monitor.clone());

@@ -3,7 +3,7 @@
 //! gradients exactly, replicas must stay synchronized, and the whole
 //! thread-parallel trainer must actually learn.
 
-use cannikin::collectives::CommGroup;
+use cannikin::collectives::{CommGroup, TransportKind};
 use cannikin::core::engine::parallel::{ParallelConfig, ParallelTrainer};
 use cannikin::dnn::data::gaussian_blobs;
 use cannikin::dnn::layers::{flatten_grads, zero_grads, Layer};
@@ -106,17 +106,23 @@ fn config() -> ParallelConfig {
         seed: 9,
         comm_faults: None,
         retry: Default::default(),
+        transport: TransportKind::InProcess,
     }
 }
 
 #[test]
 fn parallel_trainer_learns_and_reports_consistent_state() {
     let ds = gaussian_blobs(1024, 6, 12, 33);
-    let mut trainer = ParallelTrainer::new(ds, |seed| mlp_classifier(12, 32, 6, seed), config());
+    let mut trainer = ParallelTrainer::builder()
+        .dataset(ds)
+        .model(|seed| mlp_classifier(12, 32, 6, seed))
+        .config(config())
+        .build()
+        .expect("valid config");
     let mut last = None;
     let mut gns_seen = false;
     for _ in 0..6 {
-        let r = trainer.run_epoch();
+        let r = trainer.run_epoch().expect("epoch");
         assert_eq!(r.local_batches.iter().sum::<u64>(), r.total_batch);
         assert!(r.local_batches.iter().all(|&b| b >= 1));
         assert!(r.epoch_time > 0.0);
@@ -143,8 +149,13 @@ fn parallel_trainer_is_deterministic_in_math() {
         c.adaptive = false;
         c.slowdowns = vec![1.0, 1.0];
         c.lr_scaler = LrScaler::SquareRoot; // gain 1 at fixed B, φ-independent
-        let mut t = ParallelTrainer::new(ds, |seed| mlp_classifier(10, 24, 4, seed), c);
-        (0..2).map(|_| t.run_epoch().mean_loss).collect::<Vec<_>>()
+        let mut t = ParallelTrainer::builder()
+            .dataset(ds)
+            .model(|seed| mlp_classifier(10, 24, 4, seed))
+            .config(c)
+            .build()
+            .expect("valid config");
+        (0..2).map(|_| t.run_epoch().expect("epoch").mean_loss).collect::<Vec<_>>()
     };
     let (a, b) = (run(), run());
     for (x, y) in a.iter().zip(&b) {
