@@ -54,6 +54,8 @@ fn bench_parallel_epoch(c: &mut Criterion) {
                     comm_faults: None,
                     retry: Default::default(),
                     transport: Default::default(),
+                    codec: Default::default(),
+                    overlap: false,
                 };
                 ParallelTrainer::builder()
                     .dataset(ds)

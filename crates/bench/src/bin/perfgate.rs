@@ -1,0 +1,153 @@
+//! Perf regression gate over the `BENCH_perf.json` trajectory.
+//!
+//! Re-measures the raw-speed triad (SIMD GEMM speedup, codec byte
+//! reduction, compute/comm overlap) with the pinned perf seed, writes the
+//! fresh report, and fails if any *ratio* regressed more than the allowed
+//! fraction against the committed baseline. Ratios — not absolute
+//! GFLOP/s or wall seconds — are what gate, so the check is portable
+//! across machine generations.
+//!
+//! ```text
+//! perfgate [--baseline PATH] [--out PATH] [--max-regression FRAC] [--write-baseline PATH]
+//! ```
+//!
+//! With `--write-baseline` the fresh report is written to that path and
+//! no comparison happens (how the committed baseline is produced).
+
+use cannikin_bench::experiments::{perf_report, PerfReport};
+use cannikin_telemetry::Json;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: Option<String>,
+    out: Option<String>,
+    max_regression: f64,
+    write_baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: None,
+        out: None,
+        max_regression: 0.10,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--max-regression" => {
+                let raw = value("--max-regression")?;
+                let frac: f64 =
+                    raw.parse().map_err(|_| format!("--max-regression: `{raw}` is not a number"))?;
+                if !(0.0..1.0).contains(&frac) {
+                    return Err(format!("--max-regression must be in [0, 1), got {frac}"));
+                }
+                args.max_regression = frac;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.baseline.is_none() && args.write_baseline.is_none() {
+        return Err("need --baseline PATH (gate mode) or --write-baseline PATH".into());
+    }
+    Ok(args)
+}
+
+fn load_baseline(path: &str) -> Result<PerfReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    PerfReport::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The gated ratios. The timing-based overlap ratio gets triple headroom
+/// on top of `--max-regression` because it runs on shared CI cores where
+/// rank threads timeshare (observed spread ~1.0–1.7x on one box); byte
+/// ratios are deterministic and could gate exactly, but share the same
+/// tolerance for a uniform contract.
+fn gates(fresh: &PerfReport, base: &PerfReport, tol: f64) -> Vec<(String, bool)> {
+    let mut checks = Vec::new();
+    fn gate(checks: &mut Vec<(String, bool)>, name: &str, got: f64, floor: f64) {
+        let pass = got >= floor;
+        checks.push((
+            format!(
+                "{} {name}: {got:.4} (floor {floor:.4})",
+                if pass { "PASS" } else { "FAIL" }
+            ),
+            pass,
+        ));
+    }
+    if fresh.avx2 {
+        gate(&mut checks, "simd_speedup", fresh.simd_speedup, (base.simd_speedup * (1.0 - tol)).max(1.5));
+    } else {
+        checks.push(("SKIP simd_speedup: AVX2 unavailable on this machine".into(), true));
+    }
+    gate(&mut checks, "bf16_reduction", fresh.bf16_reduction, (base.bf16_reduction * (1.0 - tol)).max(0.45));
+    gate(&mut checks, "topk_reduction", fresh.topk_reduction, base.topk_reduction * (1.0 - tol));
+    gate(&mut checks, "overlap_speedup", fresh.overlap_speedup, base.overlap_speedup * (1.0 - 3.0 * tol));
+    // Error feedback keeps one-shot quantization error bounded; a codec
+    // bug that silently destroys precision shows up here, not in bytes.
+    let err_ok = fresh.bf16_rel_error <= (base.bf16_rel_error * 2.0).max(1e-2);
+    checks.push((
+        format!(
+            "{} bf16_rel_error: {:.2e} (ceiling {:.2e})",
+            if err_ok { "PASS" } else { "FAIL" },
+            fresh.bf16_rel_error,
+            (base.bf16_rel_error * 2.0).max(1e-2),
+        ),
+        err_ok,
+    ));
+    checks
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            eprintln!("usage: perfgate [--baseline PATH] [--out PATH] [--max-regression FRAC] [--write-baseline PATH]");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!("perfgate: measuring (pinned seed, best-of-N clocks)...");
+    let fresh = perf_report();
+    let rendered = fresh.to_json().to_string_compact();
+
+    for path in args.write_baseline.iter().chain(args.out.iter()) {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("perfgate: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("perfgate: wrote {path}");
+    }
+    if args.write_baseline.is_some() {
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match load_baseline(args.baseline.as_deref().expect("checked in parse_args")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let checks = gates(&fresh, &base, args.max_regression);
+    let mut failed = false;
+    for (line, pass) in &checks {
+        println!("{line}");
+        failed |= !pass;
+    }
+    if failed {
+        eprintln!("perfgate: performance regressed beyond the allowed fraction");
+        ExitCode::FAILURE
+    } else {
+        println!("perfgate: all ratios within tolerance");
+        ExitCode::SUCCESS
+    }
+}

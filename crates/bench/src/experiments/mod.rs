@@ -9,6 +9,7 @@ mod discussion;
 mod faults;
 mod figures;
 mod insight;
+mod perf;
 mod tables;
 mod telemetry;
 mod transport;
@@ -18,6 +19,7 @@ pub use discussion::{cluster_c_experiment, hetero_sweep};
 pub use faults::faults;
 pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
 pub use insight::insight_run;
+pub use perf::{perf, perf_report, PerfReport, PERF_SEED};
 pub use tables::{table1, table6, table_prediction};
 pub use telemetry::{summarize, telemetry_summary};
 pub use transport::transport;
@@ -45,6 +47,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("telemetry", telemetry_summary()),
         ("insight", insight_run()),
         ("transport", transport()),
+        ("perf", perf()),
     ]
 }
 
@@ -71,6 +74,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "telemetry" => Some(telemetry_summary()),
         "insight" => Some(insight_run()),
         "transport" => Some(transport()),
+        "perf" => Some(perf()),
         _ => None,
     }
 }
@@ -98,5 +102,6 @@ pub fn ids() -> Vec<&'static str> {
         "telemetry",
         "insight",
         "transport",
+        "perf",
     ]
 }

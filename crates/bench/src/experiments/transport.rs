@@ -89,7 +89,7 @@ pub fn transport() -> String {
     out += &format!("bitwise identical across backends: {bitwise}\n");
     assert!(bitwise, "transport backends must agree bitwise");
 
-    out += &format!("\nparallel-trainer epoch, 3 ranks (MLP on gaussian blobs, B=48):\n");
+    out.push_str("\nparallel-trainer epoch, 3 ranks (MLP on gaussian blobs, B=48):\n");
     out += &row(
         &["backend".into(), "wall (s)".into(), "grad bytes".into(), "epoch-0 loss".into()],
         &widths,

@@ -24,6 +24,12 @@
 //!   and bounded retry with seeded-jitter exponential backoff
 //!   ([`RetryPolicy`]). Deterministic failures can be injected with a
 //!   shared [`CommFaultPlan`] (see [`CommGroup::create_faulty`]).
+//! - [`Communicator::weighted_all_reduce_ef`] and its resilient variant —
+//!   the compressed-gradient path: payloads travel through a per-group
+//!   [`Codec`] (bf16 / f16 quantization or top-k sparsification, raw
+//!   `f32` by default) with an [`ErrorFeedback`] residual so convergence
+//!   tracks the uncompressed trajectory. Select the codec with
+//!   [`CommGroup::with_options`].
 //!
 //! Every rank runs on its own thread and owns one [`Communicator`]; the
 //! group is created up front with [`CommGroup::create`] (in-process),
@@ -54,11 +60,13 @@
 //! }
 //! ```
 
+pub mod codec;
 mod resilience;
 mod ring;
 pub mod tcp;
 pub mod transport;
 
+pub use codec::{Codec, ErrorFeedback, ParseCodecError};
 pub use resilience::{CommError, CommFaultPlan, RetryPolicy};
 pub use ring::{CommGroup, Communicator};
 pub use tcp::{Rendezvous, TcpTransport};

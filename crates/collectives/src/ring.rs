@@ -3,10 +3,18 @@
 //! The algorithms below never touch a socket or a channel directly — they
 //! move little-endian byte frames through whichever [`Transport`] backs the
 //! group (in-process crossbeam channels by default, localhost TCP via
-//! [`CommGroup::tcp`]). Gradient payloads travel as `f32` frames and metric
-//! gathers as `f64` frames, so results are bitwise identical across
-//! backends.
+//! [`CommGroup::tcp`]). Gradient payloads travel through the group's
+//! [`Codec`] (raw `f32` frames by default) and metric gathers as `f64`
+//! frames, so results are bitwise identical across backends.
+//!
+//! With a lossy codec the ring stays replica-consistent: after the
+//! reduce-scatter phase each rank re-quantizes the chunk it owns before the
+//! all-gather circulates it, so every rank forwards and keeps the same
+//! bits (codecs are idempotent — see [`crate::codec`]). Broadcast and the
+//! `f64` metric gathers are never compressed; only gradient reductions
+//! are.
 
+use crate::codec::{Codec, ErrorFeedback};
 use crate::resilience::{CommError, CommFaultPlan, RetryPolicy};
 use crate::tcp;
 use crate::transport::{
@@ -101,11 +109,32 @@ impl CommGroup {
         kind: &TransportKind,
         plan: Option<CommFaultPlan>,
     ) -> Result<Vec<Communicator>, CommError> {
+        Self::with_options(n, kind, plan, Codec::None)
+    }
+
+    /// [`CommGroup::with_kind`] plus a gradient [`Codec`] installed on
+    /// every rank (all ranks must share one codec — mixed codecs would
+    /// desynchronize frame formats mid-collective).
+    ///
+    /// # Errors
+    ///
+    /// As [`CommGroup::tcp`] for the TCP backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_options(
+        n: usize,
+        kind: &TransportKind,
+        plan: Option<CommFaultPlan>,
+        codec: Codec,
+    ) -> Result<Vec<Communicator>, CommError> {
         let plan = plan.map(Arc::new);
-        match kind {
-            TransportKind::InProcess => Ok(Self::build(n, plan)),
-            TransportKind::Tcp { rendezvous } => Self::tcp_with_plan(rendezvous, n, plan),
-        }
+        let comms = match kind {
+            TransportKind::InProcess => Self::build(n, plan),
+            TransportKind::Tcp { rendezvous } => Self::tcp_with_plan(rendezvous, n, plan)?,
+        };
+        Ok(comms.into_iter().map(|c| c.with_codec(codec)).collect())
     }
 }
 
@@ -121,6 +150,8 @@ pub struct Communicator {
     /// contract.
     seq: Cell<u64>,
     fault_plan: Option<Arc<CommFaultPlan>>,
+    /// Wire format of gradient payloads ([`Codec::None`] = raw `f32`).
+    codec: Codec,
 }
 
 impl Communicator {
@@ -130,7 +161,20 @@ impl Communicator {
         transport: Box<dyn Transport>,
         fault_plan: Option<Arc<CommFaultPlan>>,
     ) -> Communicator {
-        Communicator { transport, seq: Cell::new(0), fault_plan }
+        Communicator { transport, seq: Cell::new(0), fault_plan, codec: Codec::None }
+    }
+
+    /// Install a gradient [`Codec`] (builder-style). Every rank of a group
+    /// must use the same codec or frame formats desynchronize.
+    #[must_use]
+    pub fn with_codec(mut self, codec: Codec) -> Communicator {
+        self.codec = codec;
+        self
+    }
+
+    /// The gradient codec this communicator puts on the wire.
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// This rank's id, `0..world_size`.
@@ -168,6 +212,17 @@ impl Communicator {
         decode_f32(&frame).expect("malformed f32 frame")
     }
 
+    /// Send a gradient payload through the group's [`Codec`].
+    fn send_grad(&self, data: &[f32]) {
+        self.transport.send(&self.codec.encode(data)).expect("ring peer disconnected");
+    }
+
+    /// Receive and decode a gradient payload.
+    fn recv_grad(&self) -> Vec<f32> {
+        let frame = self.transport.recv().expect("ring peer disconnected");
+        self.codec.decode(&frame).expect("malformed gradient frame")
+    }
+
     fn send_f64(&self, data: &[f64]) {
         self.transport.send(&encode_f64(data)).expect("ring peer disconnected");
     }
@@ -194,18 +249,24 @@ impl Communicator {
         for s in 0..n - 1 {
             let send_idx = (rank + n - s) % n;
             let recv_idx = (rank + n - s - 1) % n;
-            self.send(&data[chunks[send_idx].clone()]);
-            let incoming = self.recv();
+            self.send_grad(&data[chunks[send_idx].clone()]);
+            let incoming = self.recv_grad();
             for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
                 *d += v;
             }
+        }
+        // Re-quantize the chunk this rank owns before circulating it: the
+        // local (unencoded) sum and the copies the other ranks decode must
+        // be the same bits, or replicas drift apart under a lossy codec.
+        if self.codec.is_lossy() {
+            self.codec.quantize(&mut data[chunks[(rank + 1) % n].clone()]);
         }
         // All-gather: circulate the fully reduced chunks.
         for s in 0..n - 1 {
             let send_idx = (rank + n - s + 1) % n;
             let recv_idx = (rank + n - s) % n;
-            self.send(&data[chunks[send_idx].clone()]);
-            let incoming = self.recv();
+            self.send_grad(&data[chunks[send_idx].clone()]);
+            let incoming = self.recv_grad();
             data[chunks[recv_idx].clone()].copy_from_slice(&incoming);
         }
     }
@@ -602,8 +663,8 @@ impl Communicator {
         for s in 0..n - 1 {
             let send_idx = (rank + n - s) % n;
             let recv_idx = (rank + n - s - 1) % n;
-            self.send(&data[chunks[send_idx].clone()]);
-            let incoming = self.recv();
+            self.send_grad(&data[chunks[send_idx].clone()]);
+            let incoming = self.recv_grad();
             for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
                 *d += v;
             }
@@ -614,7 +675,9 @@ impl Communicator {
 
     /// Ring all-gather over the chunk layout produced by
     /// [`Communicator::reduce_scatter`]: every rank contributes its owned
-    /// chunk and receives everyone else's, completing an all-reduce.
+    /// chunk and receives everyone else's, completing an all-reduce. Under
+    /// a lossy codec the owned chunk is re-quantized first, so the local
+    /// copy matches what every other rank decodes bit-for-bit.
     pub fn all_gather_chunks(&self, data: &mut [f32]) {
         let n = self.world_size();
         if n == 1 {
@@ -622,11 +685,14 @@ impl Communicator {
         }
         let rank = self.rank();
         let chunks = ring_chunks(data.len(), n);
+        if self.codec.is_lossy() {
+            self.codec.quantize(&mut data[chunks[(rank + 1) % n].clone()]);
+        }
         for s in 0..n - 1 {
             let send_idx = (rank + n - s + 1) % n;
             let recv_idx = (rank + n - s) % n;
-            self.send(&data[chunks[send_idx].clone()]);
-            let incoming = self.recv();
+            self.send_grad(&data[chunks[send_idx].clone()]);
+            let incoming = self.recv_grad();
             data[chunks[recv_idx].clone()].copy_from_slice(&incoming);
         }
     }
@@ -634,12 +700,12 @@ impl Communicator {
 
 impl Communicator {
     fn send_typed(&self, data: &[f32]) -> Result<(), CommError> {
-        self.transport.send(&encode_f32(data))
+        self.transport.send(&self.codec.encode(data))
     }
 
     fn recv_typed(&self, timeout: Duration) -> Result<Vec<f32>, CommError> {
         let frame = self.transport.recv_timeout(timeout)?;
-        decode_f32(&frame).map_err(|detail| CommError::Io { rank: self.rank(), detail })
+        self.codec.decode(&frame).map_err(|detail| CommError::Io { rank: self.rank(), detail })
     }
 
     /// [`Communicator::all_reduce_sum`] with a per-receive timeout and a
@@ -677,6 +743,9 @@ impl Communicator {
             for (d, v) in data[chunks[recv_idx].clone()].iter_mut().zip(incoming) {
                 *d += v;
             }
+        }
+        if self.codec.is_lossy() {
+            self.codec.quantize(&mut data[chunks[(rank + 1) % n].clone()]);
         }
         for s in 0..n - 1 {
             let send_idx = (rank + n - s + 1) % n;
@@ -777,6 +846,85 @@ impl Communicator {
         }
         match self.all_reduce_sum_resilient(data, policy, rng) {
             Ok(attempt) => Ok(attempt),
+            Err(e) => {
+                data.copy_from_slice(&snapshot);
+                Err(e)
+            }
+        }
+    }
+
+    /// Error-feedback Eq. (9) weighted all-reduce for lossy codecs: adds
+    /// the residual from previous steps into the gradient, scales by
+    /// `weight`, quantizes locally through the group's [`Codec`], stores
+    /// the new residual `(scaled − quantized)/weight` (unscaled space, so
+    /// it stays meaningful when the adaptive split changes `weight`), and
+    /// reduces the quantized buffer. With `feedback = None` or a lossless
+    /// codec this is exactly [`Communicator::weighted_all_reduce`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback` covers a different parameter count than
+    /// `data`.
+    pub fn weighted_all_reduce_ef(&self, data: &mut [f32], weight: f32, feedback: Option<&mut ErrorFeedback>) {
+        let Some(ef) = feedback.filter(|_| self.codec.is_lossy()) else {
+            self.weighted_all_reduce(data, weight);
+            return;
+        };
+        assert_eq!(ef.len(), data.len(), "error-feedback size must match the gradient");
+        ef.compensate(data, 0);
+        for v in data.iter_mut() {
+            *v *= weight;
+        }
+        let ideal = data.to_vec();
+        self.codec.quantize(data);
+        let scale = if weight != 0.0 { 1.0 / weight } else { 0.0 };
+        ef.record(&ideal, data, 0, scale);
+        self.all_reduce_sum(data);
+    }
+
+    /// Resilient variant of [`Communicator::weighted_all_reduce_ef`]: the
+    /// same compensate → scale → quantize → reduce pipeline over
+    /// [`Communicator::all_reduce_sum_resilient`]. On any error both the
+    /// gradient buffer *and* the residual are left exactly as they were
+    /// before the call, so a retried step re-enters clean — no gradient
+    /// mass is dropped or double-fed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Communicator::all_reduce_sum_resilient`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback` covers a different parameter count than
+    /// `data`.
+    pub fn weighted_all_reduce_resilient_ef(
+        &self,
+        data: &mut [f32],
+        weight: f32,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+        feedback: Option<&mut ErrorFeedback>,
+    ) -> Result<u32, CommError> {
+        let Some(ef) = feedback.filter(|_| self.codec.is_lossy()) else {
+            return self.weighted_all_reduce_resilient(data, weight, policy, rng);
+        };
+        assert_eq!(ef.len(), data.len(), "error-feedback size must match the gradient");
+        let snapshot = data.to_vec();
+        ef.compensate(data, 0);
+        for v in data.iter_mut() {
+            *v *= weight;
+        }
+        let ideal = data.to_vec();
+        self.codec.quantize(data);
+        let quantized = data.to_vec();
+        match self.all_reduce_sum_resilient(data, policy, rng) {
+            Ok(attempt) => {
+                // Commit the residual only on success: a failed attempt
+                // must leave the accumulator untouched for the retry.
+                let scale = if weight != 0.0 { 1.0 / weight } else { 0.0 };
+                ef.record(&ideal, &quantized, 0, scale);
+                Ok(attempt)
+            }
             Err(e) => {
                 data.copy_from_slice(&snapshot);
                 Err(e)

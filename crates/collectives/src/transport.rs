@@ -247,7 +247,7 @@ pub(crate) fn encode_f32(values: &[f32]) -> Vec<u8> {
 
 /// Decode a little-endian `f32` frame.
 pub(crate) fn decode_f32(frame: &[u8]) -> Result<Vec<f32>, String> {
-    if frame.len() % 4 != 0 {
+    if !frame.len().is_multiple_of(4) {
         return Err(format!("frame of {} bytes is not a whole number of f32s", frame.len()));
     }
     Ok(frame
@@ -267,7 +267,7 @@ pub(crate) fn encode_f64(values: &[f64]) -> Vec<u8> {
 
 /// Decode a little-endian `f64` frame.
 pub(crate) fn decode_f64(frame: &[u8]) -> Result<Vec<f64>, String> {
-    if frame.len() % 8 != 0 {
+    if !frame.len().is_multiple_of(8) {
         return Err(format!("frame of {} bytes is not a whole number of f64s", frame.len()));
     }
     Ok(frame
@@ -317,6 +317,21 @@ mod tests {
         assert!(TransportKind::from_str("carrier-pigeon").is_err());
         assert_eq!(TransportKind::tcp().to_string(), "tcp:127.0.0.1:0");
         assert_eq!(TransportKind::InProcess.label(), "inprocess");
+    }
+
+    #[test]
+    fn transport_parse_error_names_the_value_and_lists_alternatives() {
+        use std::str::FromStr;
+        // The message is user-facing (it surfaces verbatim through
+        // CANNIKIN_TRANSPORT config errors), so it must echo the rejected
+        // value and enumerate every accepted spelling.
+        for bad in ["carrier-pigeon", "udp", "tcp:", ""] {
+            let err = TransportKind::from_str(bad).unwrap_err();
+            assert!(err.contains(&format!("`{}`", bad.trim())), "value missing from: {err}");
+            for accepted in ["`inprocess`", "`tcp`", "`tcp:HOST:PORT`"] {
+                assert!(err.contains(accepted), "{accepted} missing from: {err}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! parallel builder, a full [`config`](ParallelTrainerBuilder::config))
 //! always wins; otherwise the `CANNIKIN_TRANSPORT` variable is consulted
 //! via [`RuntimeOptions::from_env`]; otherwise the in-process backend is
-//! used.
+//! used. The gradient codec follows the same ladder through
+//! [`codec`](ParallelTrainerBuilder::codec) and `CANNIKIN_CODEC`, ending
+//! at the lossless raw-`f32` default.
 //!
 //! ```
 //! use cannikin_core::engine::{CannikinTrainer, LinearNoiseGrowth};
@@ -45,7 +47,7 @@ use crate::optperf::SolverInput;
 use crate::perf::MeasurementAggregation;
 use crate::runtime::RuntimeOptions;
 
-use cannikin_collectives::{CommFaultPlan, RetryPolicy, TransportKind};
+use cannikin_collectives::{Codec, CommFaultPlan, RetryPolicy, TransportKind};
 use cannikin_insight::Monitor;
 use hetsim::Simulator;
 use minidnn::data::ClassificationDataset;
@@ -61,6 +63,16 @@ fn transport_from_env(builder: Option<TransportKind>) -> Result<Option<Transport
     match builder {
         Some(kind) => Ok(Some(kind)),
         None => RuntimeOptions::transport_from_env(),
+    }
+}
+
+/// Resolve the effective gradient codec: builder choice > `CANNIKIN_CODEC`.
+/// Returns `None` when neither is set (the engine then uses the lossless
+/// default).
+fn codec_from_env(builder: Option<Codec>) -> Result<Option<Codec>, CannikinError> {
+    match builder {
+        Some(codec) => Ok(Some(codec)),
+        None => RuntimeOptions::codec_from_env(),
     }
 }
 
@@ -275,6 +287,8 @@ pub struct ParallelTrainerBuilder {
     comm_faults: Option<CommFaultPlan>,
     retry: Option<RetryPolicy>,
     transport: Option<TransportKind>,
+    codec: Option<Codec>,
+    overlap: Option<bool>,
     monitor: Option<Monitor>,
 }
 
@@ -387,6 +401,24 @@ impl ParallelTrainerBuilder {
         self
     }
 
+    /// Gradient compression codec for the exchange (default: builder >
+    /// `CANNIKIN_CODEC` > lossless raw `f32`). Lossy codecs run with
+    /// persistent per-rank error feedback.
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// Overlap gradient communication with backward compute (per-layer
+    /// buckets reduced while earlier layers still compute; default:
+    /// synchronize after the full backward pass).
+    #[must_use]
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.overlap = Some(overlap);
+        self
+    }
+
     /// Attach an online health [`Monitor`] from the start.
     #[must_use]
     pub fn monitor(mut self, monitor: Monitor) -> Self {
@@ -409,6 +441,7 @@ impl ParallelTrainerBuilder {
             .factory
             .ok_or_else(|| CannikinError::InvalidConfig("ParallelTrainerBuilder needs a model factory".into()))?;
         let explicit_transport = self.transport.or_else(|| self.config.as_ref().map(|c| c.transport.clone()));
+        let explicit_codec = self.codec.or_else(|| self.config.as_ref().map(|c| c.codec));
         let mut config = self
             .config
             .unwrap_or_else(|| ParallelConfig::hetero_default(self.base_batch.unwrap_or(32)));
@@ -439,7 +472,11 @@ impl ParallelTrainerBuilder {
         if let Some(v) = self.retry {
             config.retry = v;
         }
+        if let Some(v) = self.overlap {
+            config.overlap = v;
+        }
         config.transport = transport_from_env(explicit_transport)?.unwrap_or_default();
+        config.codec = codec_from_env(explicit_codec)?.unwrap_or_default();
         let n = config.slowdowns.len();
         if n == 0 {
             return Err(CannikinError::InvalidConfig("need at least one node".into()));
@@ -576,5 +613,33 @@ mod tests {
             .build()
             .expect("valid config");
         assert_eq!(t.world_size(), 1, "setter overrides the config's node set");
+    }
+
+    #[test]
+    fn codec_and_overlap_knobs_layer_like_transport() {
+        let mut cfg = ParallelConfig::hetero_default(32);
+        cfg.codec = Codec::F16;
+        cfg.overlap = true;
+        let t = ParallelTrainer::builder()
+            .dataset(gaussian_blobs(128, 4, 10, 3))
+            .model(|seed| mlp_classifier(10, 16, 4, seed))
+            .config(cfg)
+            .codec(Codec::Bf16)
+            .transport(TransportKind::InProcess)
+            .build()
+            .expect("valid config");
+        assert_eq!(t.config().codec, Codec::Bf16, "setter overrides the config's codec");
+        assert!(t.config().overlap, "config's overlap flag survives");
+
+        let t = ParallelTrainer::builder()
+            .dataset(gaussian_blobs(128, 4, 10, 3))
+            .model(|seed| mlp_classifier(10, 16, 4, seed))
+            .overlap(true)
+            .transport(TransportKind::InProcess)
+            .codec(Codec::TopK { permille: 100 })
+            .build()
+            .expect("valid config");
+        assert_eq!(t.config().codec, Codec::TopK { permille: 100 });
+        assert!(t.config().overlap, "overlap setter engages without a config");
     }
 }

@@ -8,21 +8,37 @@
 //! | `CANNIKIN_TELEMETRY` | export targets, `format:path[,format:path]`         |
 //! | `CANNIKIN_THREADS`   | kernel thread budget for the minidnn matmul kernels |
 //! | `CANNIKIN_TRANSPORT` | collective backend: `inprocess`, `tcp`, `tcp:ADDR`  |
+//! | `CANNIKIN_CODEC`     | gradient codec: `none`, `bf16`, `f16`, `topk:N`     |
+//! | `CANNIKIN_SIMD`      | GEMM kernel policy: `auto`, `scalar`, `avx2`, `off` |
 //!
 //! **Precedence is builder > env > default**: a value set explicitly on a
 //! trainer builder always wins; an env variable fills in anything the
 //! builder left unset; the compiled-in default (in-process transport, auto
-//! thread budget, no telemetry export) covers the rest. The engine builders
+//! thread budget, raw-f32 gradients, auto kernel dispatch, no telemetry
+//! export) covers the rest. The engine builders
 //! ([`crate::engine::CannikinTrainerBuilder`],
 //! [`crate::engine::ParallelTrainerBuilder`]) apply exactly this rule for
-//! the transport knob.
+//! the transport and codec knobs.
+//!
+//! `CANNIKIN_SIMD` is consumed directly by the minidnn kernels with a
+//! lenient fallback (an unrecognized value means `auto`, because kernel
+//! dispatch happens on hot paths with no error channel); parsing it here
+//! gives front-ends a strict validation point so typos still surface.
 
 use crate::error::CannikinError;
-use cannikin_collectives::TransportKind;
+use cannikin_collectives::{Codec, TransportKind};
 use cannikin_telemetry::env::{parse_targets, ExportTarget};
+use minidnn::tensor::simd::SimdPolicy;
 
 /// Name of the transport-selection environment variable.
 pub const TRANSPORT_ENV: &str = "CANNIKIN_TRANSPORT";
+
+/// Name of the gradient-codec environment variable.
+pub const CODEC_ENV: &str = "CANNIKIN_CODEC";
+
+/// Re-export of the GEMM kernel-policy variable name for one-stop lookup
+/// (the kernels themselves read it leniently; see the module docs).
+pub const SIMD_ENV: &str = minidnn::tensor::simd::SIMD_ENV;
 
 /// Name of the kernel-thread-budget environment variable (the same one the
 /// minidnn kernels honour directly as their default-of-last-resort).
@@ -42,6 +58,12 @@ pub struct RuntimeOptions {
     /// Collective transport from `CANNIKIN_TRANSPORT` (`None` = unset; the
     /// engines then default to [`TransportKind::InProcess`]).
     pub transport: Option<TransportKind>,
+    /// Gradient codec from `CANNIKIN_CODEC` (`None` = unset; the engines
+    /// then default to the lossless [`Codec::None`]).
+    pub codec: Option<Codec>,
+    /// GEMM kernel policy from `CANNIKIN_SIMD` (`None` = unset = runtime
+    /// auto-detection).
+    pub simd: Option<SimdPolicy>,
 }
 
 impl RuntimeOptions {
@@ -69,6 +91,17 @@ impl RuntimeOptions {
             }
         }
         options.transport = Self::transport_from_env()?;
+        options.codec = Self::codec_from_env()?;
+        if let Ok(raw) = std::env::var(SIMD_ENV) {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                options.simd = Some(
+                    trimmed
+                        .parse()
+                        .map_err(|e| CannikinError::InvalidConfig(format!("{SIMD_ENV}: {e}")))?,
+                );
+            }
+        }
         Ok(options)
     }
 
@@ -92,10 +125,36 @@ impl RuntimeOptions {
         }
     }
 
+    /// Parse only the `CANNIKIN_CODEC` knob (`None` when unset), isolated
+    /// for the same reason as [`RuntimeOptions::transport_from_env`]: a
+    /// malformed unrelated variable must not fail a build that never reads
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`CannikinError::InvalidConfig`] when the variable is set but
+    /// unparseable.
+    pub fn codec_from_env() -> Result<Option<Codec>, CannikinError> {
+        match std::env::var(CODEC_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => raw
+                .trim()
+                .parse()
+                .map(Some)
+                .map_err(|e| CannikinError::InvalidConfig(format!("{CODEC_ENV}: {e}"))),
+            _ => Ok(None),
+        }
+    }
+
     /// The transport to use given an optional builder-level override:
     /// builder > env > [`TransportKind::InProcess`].
     pub fn resolve_transport(&self, builder: Option<TransportKind>) -> TransportKind {
         builder.or_else(|| self.transport.clone()).unwrap_or_default()
+    }
+
+    /// The gradient codec to use given an optional builder-level override:
+    /// builder > env > [`Codec::None`].
+    pub fn resolve_codec(&self, builder: Option<Codec>) -> Codec {
+        builder.or(self.codec).unwrap_or_default()
     }
 }
 
@@ -130,14 +189,23 @@ mod tests {
     #[test]
     fn unset_environment_yields_defaults() {
         let options = with_env(
-            &[(TELEMETRY_ENV, None), (THREADS_ENV, None), (TRANSPORT_ENV, None)],
+            &[
+                (TELEMETRY_ENV, None),
+                (THREADS_ENV, None),
+                (TRANSPORT_ENV, None),
+                (CODEC_ENV, None),
+                (SIMD_ENV, None),
+            ],
             RuntimeOptions::from_env,
         )
         .expect("empty env parses");
         assert!(options.telemetry.is_empty());
         assert_eq!(options.threads, None);
         assert_eq!(options.transport, None);
+        assert_eq!(options.codec, None);
+        assert_eq!(options.simd, None);
         assert_eq!(options.resolve_transport(None), TransportKind::InProcess);
+        assert_eq!(options.resolve_codec(None), Codec::None);
     }
 
     #[test]
@@ -147,6 +215,8 @@ mod tests {
                 (TELEMETRY_ENV, Some("jsonl:/tmp/run.jsonl")),
                 (THREADS_ENV, Some("4")),
                 (TRANSPORT_ENV, Some("tcp:127.0.0.1:5000")),
+                (CODEC_ENV, Some("topk:125")),
+                (SIMD_ENV, Some("scalar")),
             ],
             RuntimeOptions::from_env,
         )
@@ -157,6 +227,8 @@ mod tests {
             options.transport,
             Some(TransportKind::Tcp { rendezvous: "127.0.0.1:5000".to_string() })
         );
+        assert_eq!(options.codec, Some(Codec::TopK { permille: 125 }));
+        assert_eq!(options.simd, Some(SimdPolicy::Scalar));
     }
 
     #[test]
@@ -165,18 +237,33 @@ mod tests {
             (TRANSPORT_ENV, "carrier-pigeon"),
             (THREADS_ENV, "many"),
             (TELEMETRY_ENV, "csv:/tmp/x"),
+            (CODEC_ENV, "int3"),
+            (CODEC_ENV, "topk:0"),
+            (SIMD_ENV, "avx1024"),
         ] {
             let err = with_env(
                 &[
                     (TELEMETRY_ENV, (var == TELEMETRY_ENV).then_some(value)),
                     (THREADS_ENV, (var == THREADS_ENV).then_some(value)),
                     (TRANSPORT_ENV, (var == TRANSPORT_ENV).then_some(value)),
+                    (CODEC_ENV, (var == CODEC_ENV).then_some(value)),
+                    (SIMD_ENV, (var == SIMD_ENV).then_some(value)),
                 ],
                 RuntimeOptions::from_env,
             )
             .expect_err("malformed value must not be ignored");
             assert!(err.to_string().contains(var), "{err} should name {var}");
         }
+    }
+
+    #[test]
+    fn codec_parse_ignores_unrelated_knobs() {
+        let codec = with_env(
+            &[(TRANSPORT_ENV, Some("carrier-pigeon")), (CODEC_ENV, Some("bf16"))],
+            RuntimeOptions::codec_from_env,
+        )
+        .expect("unrelated knob must not fail the codec parse");
+        assert_eq!(codec, Some(Codec::Bf16));
     }
 
     #[test]
@@ -204,5 +291,11 @@ mod tests {
         assert_eq!(from_env.resolve_transport(None), TransportKind::tcp());
         // Default covers the rest.
         assert_eq!(RuntimeOptions::default().resolve_transport(None), TransportKind::InProcess);
+
+        // The codec knob follows the same ladder.
+        let from_env = RuntimeOptions { codec: Some(Codec::F16), ..RuntimeOptions::default() };
+        assert_eq!(from_env.resolve_codec(Some(Codec::Bf16)), Codec::Bf16);
+        assert_eq!(from_env.resolve_codec(None), Codec::F16);
+        assert_eq!(RuntimeOptions::default().resolve_codec(None), Codec::None);
     }
 }

@@ -153,6 +153,21 @@ impl Sequential {
         self.layers.len()
     }
 
+    /// Immutable access to the layers, in forward order.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers, in forward order. Distributed training
+    /// engines use this to drive the backward pass layer by layer so
+    /// gradient buckets can be communicated while earlier layers still
+    /// compute (compute/communication overlap); calling
+    /// `layer.backward(...)` over this slice in reverse is equivalent to
+    /// [`Sequential`]'s own `backward`.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
     /// Whether the container holds no layers.
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()

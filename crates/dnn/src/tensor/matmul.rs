@@ -19,6 +19,7 @@
 
 mod blocked;
 pub mod reference;
+pub mod simd;
 
 use super::Tensor;
 

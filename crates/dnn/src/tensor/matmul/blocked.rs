@@ -25,7 +25,18 @@
 //! disjoint C regions and disjoint A rows, and only share read-only B. Each
 //! worker packs its own panels from its own arena, so no synchronization
 //! beyond the final join is needed.
+//!
+//! When the CPU has AVX2+FMA (and `CANNIKIN_SIMD` permits), the serial
+//! core is swapped for the hand-written 6×16 microkernel in
+//! [`simd`](super::simd). The kernel is resolved **once** per
+//! [`gemm_strided`] call on the calling thread and passed into the row
+//! workers by value, so a [`KernelGuard`](super::simd::KernelGuard)
+//! override governs the whole operation. The small-matrix path below
+//! `SMALL_WORK` stays scalar under every policy — packing overhead
+//! dominates there, which is exactly why the dispatch-boundary proptests
+//! straddle it.
 
+use super::simd::{self, Kernel};
 use crate::tensor::{scratch, threads};
 
 /// Microkernel rows (panel height of packed A).
@@ -73,14 +84,18 @@ pub(super) fn gemm_strided(
         gemm_small(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
         return;
     }
-    let t = threads::effective_threads().min(m.div_ceil(MR)).min(1 + work / WORK_PER_THREAD);
+    // Resolve the kernel once, here, so the calling thread's override (if
+    // any) also governs the spawned row workers below.
+    let kernel = simd::active_kernel();
+    let mr = kernel.mr();
+    let t = threads::effective_threads().min(m.div_ceil(mr)).min(1 + work / WORK_PER_THREAD);
     if t <= 1 {
-        gemm_serial(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
+        gemm_serial(kernel, m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c);
         return;
     }
-    // MR-aligned row chunks, one per thread; the spawning thread takes the
+    // mr-aligned row chunks, one per thread; the spawning thread takes the
     // last chunk itself so it works instead of blocking on the join.
-    let chunk_rows = m.div_ceil(t).next_multiple_of(MR);
+    let chunk_rows = m.div_ceil(t).next_multiple_of(mr);
     std::thread::scope(|s| {
         let mut rest = c;
         let mut i0 = 0;
@@ -90,9 +105,9 @@ pub(super) fn gemm_strided(
             rest = tail;
             let a_chunk = &a[i0 * a_rs..];
             if i0 + rows >= m {
-                gemm_serial(rows, n, k, a_chunk, a_rs, a_cs, b, b_rs, b_cs, chunk);
+                gemm_serial(kernel, rows, n, k, a_chunk, a_rs, a_cs, b, b_rs, b_cs, chunk);
             } else {
-                s.spawn(move || gemm_serial(rows, n, k, a_chunk, a_rs, a_cs, b, b_rs, b_cs, chunk));
+                s.spawn(move || gemm_serial(kernel, rows, n, k, a_chunk, a_rs, a_cs, b, b_rs, b_cs, chunk));
             }
             i0 += rows;
         }
@@ -140,9 +155,31 @@ fn gemm_small(
     }
 }
 
-/// Single-threaded blocked GEMM over the full `[m, n]` output.
+/// Single-threaded blocked GEMM over the full `[m, n]` output, dispatching
+/// to the register tile the resolved [`Kernel`] provides.
 #[allow(clippy::too_many_arguments)]
 fn gemm_serial(
+    kernel: Kernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+) {
+    match kernel {
+        Kernel::Scalar => gemm_serial_scalar(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c),
+        Kernel::Avx2 => simd::gemm_serial_avx2(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c),
+    }
+}
+
+/// Single-threaded *scalar* blocked GEMM — the autovectorized 2×16 core.
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial_scalar(
     m: usize,
     n: usize,
     k: usize,
@@ -160,26 +197,38 @@ fn gemm_serial(
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(bpack.as_mut_slice(), b, b_rs, b_cs, pc, jc, kc, nc);
+            pack_b_panels::<NR>(bpack.as_mut_slice(), b, b_rs, b_cs, pc, jc, kc, nc);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(apack.as_mut_slice(), a, a_rs, a_cs, ic, pc, kc, mc);
+                pack_a_panels::<MR>(apack.as_mut_slice(), a, a_rs, a_cs, ic, pc, kc, mc);
                 macro_kernel(apack.as_slice(), bpack.as_slice(), c, ic, jc, mc, nc, kc, n);
             }
         }
     }
 }
 
-/// Pack an `mc × kc` block of A into `MR`-row panels, k-major within each
-/// panel (`dst[panel][kk·MR + r]`), zero-padding the final partial panel.
-fn pack_a(dst: &mut [f32], a: &[f32], a_rs: usize, a_cs: usize, ic: usize, pc: usize, kc: usize, mc: usize) {
+/// Pack an `mc × kc` block of A into `P`-row panels, k-major within each
+/// panel (`dst[panel][kk·P + r]`), zero-padding the final partial panel.
+/// Const-generic over the panel height so the scalar (`P = MR`) and AVX2
+/// (`P = 6`) cores share one monomorphized-per-tile packer.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style (ptr, rs, cs, block offsets) shape
+pub(super) fn pack_a_panels<const P: usize>(
+    dst: &mut [f32],
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    ic: usize,
+    pc: usize,
+    kc: usize,
+    mc: usize,
+) {
     let mut d = 0;
-    for p in 0..mc.div_ceil(MR) {
-        let rbase = ic + p * MR;
-        let rmax = MR.min(mc - p * MR);
+    for p in 0..mc.div_ceil(P) {
+        let rbase = ic + p * P;
+        let rmax = P.min(mc - p * P);
         for kk in 0..kc {
             let col = (pc + kk) * a_cs;
-            for r in 0..MR {
+            for r in 0..P {
                 dst[d] = if r < rmax { a[(rbase + r) * a_rs + col] } else { 0.0 };
                 d += 1;
             }
@@ -187,16 +236,26 @@ fn pack_a(dst: &mut [f32], a: &[f32], a_rs: usize, a_cs: usize, ic: usize, pc: u
     }
 }
 
-/// Pack a `kc × nc` block of B into `NR`-column panels, k-major within each
-/// panel (`dst[panel][kk·NR + j]`), zero-padding the final partial panel.
-fn pack_b(dst: &mut [f32], b: &[f32], b_rs: usize, b_cs: usize, pc: usize, jc: usize, kc: usize, nc: usize) {
+/// Pack a `kc × nc` block of B into `P`-column panels, k-major within each
+/// panel (`dst[panel][kk·P + j]`), zero-padding the final partial panel.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style (ptr, rs, cs, block offsets) shape
+pub(super) fn pack_b_panels<const P: usize>(
+    dst: &mut [f32],
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+) {
     let mut d = 0;
-    for q in 0..nc.div_ceil(NR) {
-        let cbase = jc + q * NR;
-        let cmax = NR.min(nc - q * NR);
+    for q in 0..nc.div_ceil(P) {
+        let cbase = jc + q * P;
+        let cmax = P.min(nc - q * P);
         for kk in 0..kc {
             let row = (pc + kk) * b_rs;
-            for j in 0..NR {
+            for j in 0..P {
                 dst[d] = if j < cmax { b[row + (cbase + j) * b_cs] } else { 0.0 };
                 d += 1;
             }
@@ -352,6 +411,47 @@ mod tests {
         gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c);
         let want: Vec<f32> = naive(m, n, k, &a, &b).iter().map(|v| v + 2.0).collect();
         assert_close(&c, &want);
+    }
+
+    #[test]
+    fn avx2_kernel_matches_scalar_within_rounding() {
+        use super::simd::{avx2_available, with_kernel, Kernel};
+        if !avx2_available() {
+            return; // nothing to compare on this host
+        }
+        // Shapes straddling the 6-row panel, the 72-row cache block, and
+        // the partial-tile edges in both dimensions.
+        for &(m, n, k) in &[(64, 64, 64), (37, 53, 129), (130, 70, 70), (6, 16, 300), (7, 17, 301), (73, 257, 31)]
+        {
+            let a = fill(m as u64 + 1, m * k);
+            let b = fill(n as u64 + 2, k * n);
+            let want = naive(m, n, k, &a, &b);
+            let mut scalar = vec![0.0f32; m * n];
+            with_kernel(Kernel::Scalar, || gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut scalar));
+            let mut simd_out = vec![0.0f32; m * n];
+            with_kernel(Kernel::Avx2, || gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut simd_out));
+            assert_close(&scalar, &want);
+            assert_close(&simd_out, &want);
+        }
+    }
+
+    #[test]
+    fn kernel_override_propagates_to_row_workers() {
+        use super::simd::{with_kernel, Kernel};
+        let (m, n, k) = (150, 60, 80);
+        let a = fill(7, m * k);
+        let b = fill(8, k * n);
+        let mut serial = vec![0.0f32; m * n];
+        with_kernel(Kernel::Scalar, || {
+            threads::with_threads(1, || gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut serial))
+        });
+        // Same pinned kernel, threaded: workers must inherit the override,
+        // so the result is bitwise identical chunk by chunk.
+        let mut par = vec![0.0f32; m * n];
+        with_kernel(Kernel::Scalar, || {
+            threads::with_threads(4, || gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut par))
+        });
+        assert_eq!(serial, par, "scalar kernel must be deterministic across thread counts");
     }
 
     #[test]

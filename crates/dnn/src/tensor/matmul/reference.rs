@@ -1,7 +1,7 @@
 //! Naive scalar matmul kernels — the correctness baseline.
 //!
 //! These are the seed implementations the blocked kernels in
-//! [`super::blocked`] replaced (minus the old `== 0.0` sparsity skip, whose
+//! `super::blocked` replaced (minus the old `== 0.0` sparsity skip, whose
 //! branchy inner loops blocked vectorization without winning on dense
 //! workloads). They remain the ground truth for the equivalence proptests
 //! and the baseline the `matmul` criterion bench measures speedups against.

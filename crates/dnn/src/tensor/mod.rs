@@ -12,7 +12,7 @@ pub mod scratch;
 mod softmax;
 pub mod threads;
 
-pub use matmul::{gemm, gemm_a_bt, gemm_at_b, matmul, matmul_a_bt, matmul_at_b, reference};
+pub use matmul::{gemm, gemm_a_bt, gemm_at_b, matmul, matmul_a_bt, matmul_at_b, reference, simd};
 
 use crate::error::DnnError;
 

@@ -7,6 +7,7 @@
 //! of the register tile or cache block — because those exercise the
 //! zero-padded panel edges of the packed kernels.
 
+use minidnn::tensor::simd::{self, with_kernel, Kernel};
 use minidnn::tensor::threads::with_threads;
 use minidnn::tensor::{reference, scratch, Tensor};
 use proptest::prelude::*;
@@ -82,6 +83,61 @@ proptest! {
         for (i, (&twice, &one)) in c.iter().zip(&once).enumerate() {
             prop_assert!(close(twice, 2.0 * one), "element {}: {} vs {}", i, twice, 2.0 * one);
         }
+    }
+
+    #[test]
+    fn forced_avx2_matmul_matches_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        // Shapes drawn here straddle the SMALL_WORK dispatch boundary: tiny
+        // products stay on the scalar small-matrix path even when the AVX2
+        // kernel is forced, so this covers both sides of the dispatch tree.
+        if !simd::avx2_available() {
+            return Ok(());
+        }
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(6));
+        let got = with_kernel(Kernel::Avx2, || minidnn::tensor::matmul(&a, &b));
+        assert_all_close(&got, &reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn forced_avx2_transposed_kernels_match_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        if !simd::avx2_available() {
+            return Ok(());
+        }
+        let at = Tensor::randn(&[k, m], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(7));
+        let got = with_kernel(Kernel::Avx2, || minidnn::tensor::matmul_at_b(&at, &b));
+        assert_all_close(&got, &reference::matmul_at_b(&at, &b))?;
+
+        let a = Tensor::randn(&[m, k], seed.wrapping_add(8));
+        let bt = Tensor::randn(&[n, k], seed.wrapping_add(9));
+        let got = with_kernel(Kernel::Avx2, || minidnn::tensor::matmul_a_bt(&a, &bt));
+        assert_all_close(&got, &reference::matmul_a_bt(&a, &bt))?;
+    }
+
+    #[test]
+    fn forced_scalar_is_bitwise_stable_across_dispatch(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        // Forcing the scalar kernel must reproduce the default path exactly
+        // on machines without AVX2, and stay self-consistent everywhere:
+        // the override changes *which* kernel runs, never the blocking
+        // schedule, so repeated forced-scalar runs are bitwise identical.
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(10));
+        let first = with_kernel(Kernel::Scalar, || minidnn::tensor::matmul(&a, &b));
+        let second = with_kernel(Kernel::Scalar, || minidnn::tensor::matmul(&a, &b));
+        prop_assert_eq!(first.data(), second.data());
+        assert_all_close(&first, &reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn forced_avx2_threaded_matches_reference(m in dims(), k in dims(), n in dims(), seed in 0u64..1024) {
+        if !simd::avx2_available() {
+            return Ok(());
+        }
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[k, n], seed.wrapping_add(11));
+        let got = with_kernel(Kernel::Avx2, || with_threads(4, || minidnn::tensor::matmul(&a, &b)));
+        assert_all_close(&got, &reference::matmul(&a, &b))?;
     }
 
     #[test]

@@ -198,7 +198,7 @@ pub fn analyze(records: &[Record], config: InsightConfig) -> ReplayReport {
     let mut online = Vec::new();
     let mut events = 0u64;
 
-    fn finalize_plan(plans: &mut Vec<PlanSummary>, accum: &mut Option<PlanAccum>) {
+    fn finalize_plan(plans: &mut [PlanSummary], accum: &mut Option<PlanAccum>) {
         if let (Some(acc), Some(plan)) = (accum.take(), plans.last_mut()) {
             plan.realized_t = acc.realized();
             plan.rel_error = match (plan.predicted_t, plan.realized_t) {

@@ -327,9 +327,7 @@ impl FaultState {
             for event in events {
                 match event {
                     FaultEvent::Crash { node } if node < n => {
-                        if !self.crashed[node] {
-                            self.crashed[node] = true;
-                        }
+                        self.crashed[node] = true;
                     }
                     FaultEvent::Leave { node } if node < n => {
                         faults.push(FaultInjected {

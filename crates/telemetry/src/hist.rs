@@ -124,8 +124,39 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`), linearly interpolated within
-    /// the containing bucket. Underflow clamps to `min`, overflow to the
-    /// last bound. `None` when the histogram is empty.
+    /// the containing bucket. `None` when the histogram is empty.
+    ///
+    /// # Out-of-range samples
+    ///
+    /// Samples outside the bucket layout are *counted* but their values
+    /// are not retained, so quantiles that land in the underflow bucket
+    /// clamp to `min` and quantiles that land in the overflow bucket
+    /// clamp to the last bound. In particular, a histogram holding
+    /// **only** overflow samples answers every quantile — `q = 0`
+    /// through `q = 1` — with the last bound, regardless of how far
+    /// above it the samples actually were. Reading `p99 == last bound`
+    /// together with a non-zero [`overflow`](Histogram::overflow) count
+    /// therefore means "at least this much", not an exact estimate; size
+    /// the layout so the tail you care about lands in a real bucket.
+    ///
+    /// ```
+    /// use cannikin_telemetry::Histogram;
+    ///
+    /// let mut h = Histogram::linear(0.0, 10.0, 4);
+    /// for _ in 0..5 {
+    ///     h.record(1e6); // far beyond the last bound
+    /// }
+    /// assert_eq!(h.overflow(), 5);
+    /// // Every quantile of an overflow-only histogram clamps to the
+    /// // last bound (10.0) — the true magnitudes are not recoverable.
+    /// assert_eq!(h.quantile(0.0), Some(10.0));
+    /// assert_eq!(h.quantile(0.5), Some(10.0));
+    /// assert_eq!(h.quantile(1.0), Some(10.0));
+    /// // The mirror case: underflow-only histograms clamp to `min`.
+    /// let mut low = Histogram::linear(5.0, 10.0, 4);
+    /// low.record(-3.0);
+    /// assert_eq!(low.quantile(0.5), Some(5.0));
+    /// ```
     ///
     /// # Panics
     ///

@@ -20,7 +20,7 @@
 //!   `chrome://tracing` / Perfetto;
 //! - the shared simulator/analyzer observation records in [`trace`]
 //!   (re-exported by `hetsim` for compatibility);
-//! - the `CANNIKIN_TELEMETRY=jsonl:/path[,chrome:/path]` [`env`] knob.
+//! - the `CANNIKIN_TELEMETRY=jsonl:/path[,chrome:/path]` [`mod@env`] knob.
 //!
 //! ## Example
 //!

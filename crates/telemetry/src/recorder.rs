@@ -7,7 +7,7 @@
 //!   off is a single `Relaxed` atomic load (see the `telemetry` criterion
 //!   bench).
 //! * Emitting threads buffer records in a thread-local `Vec` and flush to a
-//!   shared `parking_lot`-guarded sink every [`FLUSH_THRESHOLD`] events and
+//!   shared `parking_lot`-guarded sink every `FLUSH_THRESHOLD` events and
 //!   on thread exit, so the mutex is touched once per batch rather than per
 //!   event.
 //! * Sessions are serialized by a global lock and tagged with a generation
@@ -209,7 +209,7 @@ pub fn inject(node: u32, rank: u32, event: Event) {
 }
 
 /// Flush the calling thread's buffered records to subscribers and the
-/// sink now, rather than waiting for the [`FLUSH_THRESHOLD`] or thread
+/// sink now, rather than waiting for the `FLUSH_THRESHOLD` or thread
 /// exit. Lets a driver thread present a consistent stream to online
 /// monitors at a step/epoch boundary.
 pub fn flush_thread() {

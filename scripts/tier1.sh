@@ -22,4 +22,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "==> cargo test --test chaos --release -q (all fault schedules)"
 cargo test --test chaos --release -q
 
+echo "==> perfgate vs committed BENCH_perf.json (10% ratio tolerance)"
+cargo run --release -p cannikin-bench --bin perfgate -- \
+    --baseline BENCH_perf.json --out target/BENCH_perf.json
+
 echo "tier-1: OK"

@@ -12,7 +12,7 @@
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-use cannikin::collectives::{CommFaultPlan, RetryPolicy, TransportKind};
+use cannikin::collectives::{Codec, CommFaultPlan, RetryPolicy, TransportKind};
 use cannikin::core::engine::parallel::{ParallelConfig, ParallelEpochReport, ParallelTrainer};
 use cannikin::core::engine::{CannikinTrainer, EpochRecord, LinearNoiseGrowth, NoiseModel, TrainerConfig};
 use cannikin::dnn::data::gaussian_blobs;
@@ -306,6 +306,8 @@ fn parallel_config(n: usize, seed: u64) -> ParallelConfig {
         comm_faults: None,
         retry: RetryPolicy::default(),
         transport: TransportKind::InProcess,
+        codec: Codec::None,
+        overlap: false,
     }
 }
 
