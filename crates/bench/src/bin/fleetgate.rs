@@ -1,0 +1,154 @@
+//! Fleet regression gate over the `BENCH_fleet.json` trajectory.
+//!
+//! Re-runs the pinned fleet traces (adaptive allocator vs FIFO vs static
+//! partition), writes the fresh report, and fails if any gated *ratio*
+//! regressed against the committed baseline — or if the adaptive
+//! allocator ever stops strictly beating both baselines on aggregate
+//! goodput and makespan (the PR's headline claim). Unlike `perfgate`,
+//! every number here is simulated time from seeded traces, so the
+//! default tolerance is tight: the gate flags scheduler behavior
+//! changes, not machine noise.
+//!
+//! ```text
+//! fleetgate [--baseline PATH] [--out PATH] [--max-regression FRAC] [--write-baseline PATH]
+//! ```
+//!
+//! With `--write-baseline` the fresh report is written to that path and
+//! no comparison happens (how the committed baseline is produced).
+
+use cannikin_bench::experiments::{fleet_report, FleetBenchReport};
+use cannikin_bench::gate::{render_all, GateCheck};
+use cannikin_telemetry::Json;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: Option<String>,
+    out: Option<String>,
+    max_regression: f64,
+    write_baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: None,
+        out: None,
+        max_regression: 0.02,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--max-regression" => {
+                let raw = value("--max-regression")?;
+                let frac: f64 =
+                    raw.parse().map_err(|_| format!("--max-regression: `{raw}` is not a number"))?;
+                if !(0.0..1.0).contains(&frac) {
+                    return Err(format!("--max-regression must be in [0, 1), got {frac}"));
+                }
+                args.max_regression = frac;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.baseline.is_none() && args.write_baseline.is_none() {
+        return Err("need --baseline PATH (gate mode) or --write-baseline PATH".into());
+    }
+    Ok(args)
+}
+
+fn load_baseline(path: &str) -> Result<FleetBenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    FleetBenchReport::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The gated ratios, per pinned trace. Floors never drop below 1.0:
+/// even a generous baseline cannot excuse the adaptive allocator losing
+/// to a baseline policy outright.
+fn gates(fresh: &FleetBenchReport, base: &FleetBenchReport, tol: f64) -> Vec<GateCheck> {
+    let mut checks = Vec::new();
+    for f in &fresh.traces {
+        let Some(b) = base.traces.iter().find(|t| t.seed == f.seed) else {
+            checks.push(GateCheck::skipped(
+                format!("s{}", f.seed),
+                "trace seed absent from baseline (baseline refresh needed)",
+            ));
+            continue;
+        };
+        let ratios: [(&str, f64, f64); 4] = [
+            ("goodput_vs_fifo", f.goodput_vs_fifo(), b.goodput_vs_fifo()),
+            ("goodput_vs_static", f.goodput_vs_static(), b.goodput_vs_static()),
+            ("makespan_vs_fifo", f.makespan_vs_fifo(), b.makespan_vs_fifo()),
+            ("makespan_vs_static", f.makespan_vs_static(), b.makespan_vs_static()),
+        ];
+        for (name, current, baseline) in ratios {
+            checks.push(GateCheck::floor(
+                format!("s{}.{name}", f.seed),
+                current,
+                baseline,
+                (baseline * (1.0 - tol)).max(1.0),
+                tol,
+            ));
+        }
+        // Fairness guards the allocator's other promise: winning on
+        // goodput must not come from starving low-priority tenants.
+        checks.push(GateCheck::floor(
+            format!("s{}.fairness", f.seed),
+            f.cannikin.fairness,
+            b.cannikin.fairness,
+            b.cannikin.fairness * (1.0 - tol),
+            tol,
+        ));
+    }
+    checks
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fleetgate: {e}");
+            eprintln!("usage: fleetgate [--baseline PATH] [--out PATH] [--max-regression FRAC] [--write-baseline PATH]");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!("fleetgate: replaying pinned fleet traces (3 policies each)...");
+    let fresh = fleet_report();
+    let rendered = fresh.to_json().to_string_compact();
+
+    for path in args.write_baseline.iter().chain(args.out.iter()) {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("fleetgate: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("fleetgate: wrote {path}");
+    }
+    if args.write_baseline.is_some() {
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match load_baseline(args.baseline.as_deref().expect("checked in parse_args")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("fleetgate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let checks = gates(&fresh, &base, args.max_regression);
+    let (rendered_checks, all_pass) = render_all(&checks);
+    print!("{rendered_checks}");
+    if all_pass {
+        println!("fleetgate: all ratios within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fleetgate: fleet scheduling regressed against the committed baseline");
+        ExitCode::FAILURE
+    }
+}

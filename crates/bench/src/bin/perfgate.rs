@@ -15,6 +15,7 @@
 //! no comparison happens (how the committed baseline is produced).
 
 use cannikin_bench::experiments::{perf_report, PerfReport};
+use cannikin_bench::gate::{render_all, GateCheck};
 use cannikin_telemetry::Json;
 use std::process::ExitCode;
 
@@ -69,37 +70,48 @@ fn load_baseline(path: &str) -> Result<PerfReport, String> {
 /// rank threads timeshare (observed spread ~1.0–1.7x on one box); byte
 /// ratios are deterministic and could gate exactly, but share the same
 /// tolerance for a uniform contract.
-fn gates(fresh: &PerfReport, base: &PerfReport, tol: f64) -> Vec<(String, bool)> {
+fn gates(fresh: &PerfReport, base: &PerfReport, tol: f64) -> Vec<GateCheck> {
     let mut checks = Vec::new();
-    fn gate(checks: &mut Vec<(String, bool)>, name: &str, got: f64, floor: f64) {
-        let pass = got >= floor;
-        checks.push((
-            format!(
-                "{} {name}: {got:.4} (floor {floor:.4})",
-                if pass { "PASS" } else { "FAIL" }
-            ),
-            pass,
-        ));
-    }
     if fresh.avx2 {
-        gate(&mut checks, "simd_speedup", fresh.simd_speedup, (base.simd_speedup * (1.0 - tol)).max(1.5));
+        checks.push(GateCheck::floor(
+            "simd_speedup",
+            fresh.simd_speedup,
+            base.simd_speedup,
+            (base.simd_speedup * (1.0 - tol)).max(1.5),
+            tol,
+        ));
     } else {
-        checks.push(("SKIP simd_speedup: AVX2 unavailable on this machine".into(), true));
+        checks.push(GateCheck::skipped("simd_speedup", "AVX2 unavailable on this machine"));
     }
-    gate(&mut checks, "bf16_reduction", fresh.bf16_reduction, (base.bf16_reduction * (1.0 - tol)).max(0.45));
-    gate(&mut checks, "topk_reduction", fresh.topk_reduction, base.topk_reduction * (1.0 - tol));
-    gate(&mut checks, "overlap_speedup", fresh.overlap_speedup, base.overlap_speedup * (1.0 - 3.0 * tol));
+    checks.push(GateCheck::floor(
+        "bf16_reduction",
+        fresh.bf16_reduction,
+        base.bf16_reduction,
+        (base.bf16_reduction * (1.0 - tol)).max(0.45),
+        tol,
+    ));
+    checks.push(GateCheck::floor(
+        "topk_reduction",
+        fresh.topk_reduction,
+        base.topk_reduction,
+        base.topk_reduction * (1.0 - tol),
+        tol,
+    ));
+    checks.push(GateCheck::floor(
+        "overlap_speedup",
+        fresh.overlap_speedup,
+        base.overlap_speedup,
+        base.overlap_speedup * (1.0 - 3.0 * tol),
+        3.0 * tol,
+    ));
     // Error feedback keeps one-shot quantization error bounded; a codec
     // bug that silently destroys precision shows up here, not in bytes.
-    let err_ok = fresh.bf16_rel_error <= (base.bf16_rel_error * 2.0).max(1e-2);
-    checks.push((
-        format!(
-            "{} bf16_rel_error: {:.2e} (ceiling {:.2e})",
-            if err_ok { "PASS" } else { "FAIL" },
-            fresh.bf16_rel_error,
-            (base.bf16_rel_error * 2.0).max(1e-2),
-        ),
-        err_ok,
+    checks.push(GateCheck::ceiling(
+        "bf16_rel_error",
+        fresh.bf16_rel_error,
+        base.bf16_rel_error,
+        (base.bf16_rel_error * 2.0).max(1e-2),
+        1.0,
     ));
     checks
 }
@@ -138,16 +150,13 @@ fn main() -> ExitCode {
     };
 
     let checks = gates(&fresh, &base, args.max_regression);
-    let mut failed = false;
-    for (line, pass) in &checks {
-        println!("{line}");
-        failed |= !pass;
-    }
-    if failed {
-        eprintln!("perfgate: performance regressed beyond the allowed fraction");
-        ExitCode::FAILURE
-    } else {
+    let (rendered_checks, all_pass) = render_all(&checks);
+    print!("{rendered_checks}");
+    if all_pass {
         println!("perfgate: all ratios within tolerance");
         ExitCode::SUCCESS
+    } else {
+        eprintln!("perfgate: performance regressed beyond the allowed fraction");
+        ExitCode::FAILURE
     }
 }

@@ -231,75 +231,81 @@ mod tests {
 }
 
 /// Extension: multi-job scheduling over a shared heterogeneous pool
-/// (§6's "adapt to schedulers" discussion). A short CIFAR job and a long
-/// ImageNet job split an 8-GPU pool; when the short job finishes, its
-/// nodes are granted to the survivor, which re-profiles at its current
-/// batch size and accelerates.
+/// (§6's "adapt to schedulers" discussion), now on the `cannikin-fleet`
+/// control plane. A short CIFAR job and a long production ImageNet job
+/// share an 8-GPU pool; the fleet allocator re-divides the pool at every
+/// epoch boundary as GNS-driven demands shift, so the short job's exit
+/// flows straight into the survivor. The same trace under a static
+/// partition shows what adaptive reallocation buys.
 pub fn multi_job() -> String {
-    use cannikin_core::engine::LinearNoiseGrowth;
-    use cannikin_core::sched::MultiJobScheduler;
+    use cannikin_core::engine::TrainerConfig;
+    use cannikin_fleet::{AllocPolicy, FleetController, FleetJobSpec, Priority};
     use hetsim::job::JobSpec;
 
-    let nodes = |gpus: &[(Gpu, usize)]| -> Vec<NodeSpec> {
+    let pool = || -> Vec<NodeSpec> {
         let mut out = Vec::new();
-        for (gpu, count) in gpus {
-            for i in 0..*count {
-                out.push(NodeSpec::new(format!("{gpu}-{i}"), *gpu));
+        for (gpu, count) in [(Gpu::A100, 2), (Gpu::V100, 2), (Gpu::Rtx6000, 4)] {
+            for i in 0..count {
+                out.push(NodeSpec::new(format!("{gpu}-{i}"), gpu));
             }
         }
         out
     };
-    let noise = || Box::new(LinearNoiseGrowth { initial: 400.0, rate: 0.5 });
+    let trace = || {
+        vec![
+            FleetJobSpec::new("cifar (short)", JobSpec::resnet18_cifar10(), TrainerConfig::new(6_400, 64, 512), 3.0)
+                .noise(400.0, 0.5)
+                .seed(1),
+            FleetJobSpec::new(
+                "imagenet (long)",
+                JobSpec::resnet50_imagenet(),
+                TrainerConfig::new(12_800, 128, 1_024),
+                5.0,
+            )
+            .priority(Priority::Production)
+            .noise(400.0, 0.8)
+            .seed(2),
+        ]
+    };
 
-    let mut shared = MultiJobScheduler::new();
-    shared.submit(
-        "cifar (short)",
-        JobSpec::resnet18_cifar10(),
-        nodes(&[(Gpu::A100, 2), (Gpu::Rtx6000, 2)]),
-        noise(),
-        cannikin_core::engine::TrainerConfig::new(20_000, 64, 512),
-        4.0,
-        1,
-    );
-    shared.submit(
-        "imagenet (long)",
-        JobSpec::resnet50_imagenet(),
-        nodes(&[(Gpu::V100, 2), (Gpu::Rtx6000, 2)]),
-        noise(),
-        cannikin_core::engine::TrainerConfig::new(80_000, 64, 512),
-        12.0,
-        2,
-    );
-    let summaries = shared.run_to_completion(4000).expect("completed");
+    let run = |policy: AllocPolicy| {
+        FleetController::new(pool(), trace(), policy)
+            .expect("valid fleet")
+            .run_to_completion(10_000)
+            .expect("stream drains")
+    };
+    let adaptive = run(AllocPolicy::Cannikin);
+    let fixed = run(AllocPolicy::Static);
 
-    let mut solo = MultiJobScheduler::new();
-    solo.submit(
-        "imagenet (static 4 nodes)",
-        JobSpec::resnet50_imagenet(),
-        nodes(&[(Gpu::V100, 2), (Gpu::Rtx6000, 2)]),
-        noise(),
-        cannikin_core::engine::TrainerConfig::new(80_000, 64, 512),
-        12.0,
-        2,
+    let mut out = String::from("§6 — multi-tenant fleet over a shared heterogeneous pool\n");
+    let widths = [10, 18, 16, 8, 13];
+    out += &row(
+        &["policy".into(), "job".into(), "completion (s)".into(), "epochs".into(), "preemptions".into()],
+        &widths,
     );
-    let solo_summaries = solo.run_to_completion(4000).expect("completed");
-
-    let mut out = String::from("§6 — multi-job scheduling over a shared heterogeneous pool\n");
-    let widths = [28, 16, 8, 7];
-    out += &row(&["job".into(), "completion (s)".into(), "epochs".into(), "nodes".into()], &widths);
     out.push('\n');
-    for s in summaries.iter().chain(&solo_summaries) {
-        out += &row(
-            &[s.name.clone(), fmt(s.completion_time), s.epochs.to_string(), s.final_nodes.to_string()],
-            &widths,
-        );
-        out.push('\n');
+    for (policy, report) in [("cannikin", &adaptive), ("static", &fixed)] {
+        for j in &report.jobs {
+            out += &row(
+                &[
+                    policy.into(),
+                    j.name.clone(),
+                    fmt(j.finished_at),
+                    j.epochs_run.to_string(),
+                    j.preemptions.to_string(),
+                ],
+                &widths,
+            );
+            out.push('\n');
+        }
     }
-    let long = &summaries[1];
-    let solo = &solo_summaries[0];
     out += &format!(
-        "\nfreed nodes cut the long job's completion by {:.0}% vs a static allocation\n",
-        (1.0 - long.completion_time / solo.completion_time) * 100.0
+        "\nadaptive reallocation: makespan {} vs static {} ({:.0}% faster), aggregate\ngoodput {:.0} vs {:.0} samples/s\n",
+        fmt(adaptive.makespan),
+        fmt(fixed.makespan),
+        (1.0 - adaptive.makespan / fixed.makespan) * 100.0,
+        adaptive.aggregate_goodput,
+        fixed.aggregate_goodput,
     );
     out
 }

@@ -8,6 +8,7 @@ mod ablations;
 mod discussion;
 mod faults;
 mod figures;
+mod fleet;
 mod insight;
 mod perf;
 mod tables;
@@ -18,6 +19,7 @@ pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic
 pub use discussion::{cluster_c_experiment, hetero_sweep};
 pub use faults::faults;
 pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
+pub use fleet::{fleet, fleet_report, FleetBenchReport, PolicyOutcome, TraceOutcome, FLEET_SEEDS};
 pub use insight::insight_run;
 pub use perf::{perf, perf_report, PerfReport, PERF_SEED};
 pub use tables::{table1, table6, table_prediction};
@@ -44,6 +46,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("faults", faults()),
         ("accumulation", accumulation()),
         ("multi_job", multi_job()),
+        ("fleet", fleet()),
         ("telemetry", telemetry_summary()),
         ("insight", insight_run()),
         ("transport", transport()),
@@ -71,6 +74,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "faults" => Some(faults()),
         "accumulation" => Some(accumulation()),
         "multi_job" => Some(multi_job()),
+        "fleet" => Some(fleet()),
         "telemetry" => Some(telemetry_summary()),
         "insight" => Some(insight_run()),
         "transport" => Some(transport()),
@@ -99,6 +103,7 @@ pub fn ids() -> Vec<&'static str> {
         "faults",
         "accumulation",
         "multi_job",
+        "fleet",
         "telemetry",
         "insight",
         "transport",

@@ -1,0 +1,191 @@
+//! Shared regression-gate checks for the `*gate` binaries.
+//!
+//! Both `perfgate` (raw-speed trajectory) and `fleetgate` (fleet
+//! scheduling trajectory) compare a fresh measurement against a committed
+//! baseline and fail on regressions. This module gives them one check
+//! type and one message format, so a failing CI run always prints, for
+//! every offending metric, the current value, the baseline it was
+//! compared against, and the threshold it violated — no "gate failed"
+//! without the numbers to debug it.
+
+use std::fmt;
+
+/// Which side of the limit is the passing side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// The metric must stay **at or above** the limit (speedups, ratios).
+    Floor,
+    /// The metric must stay **at or below** the limit (errors, times).
+    Ceiling,
+}
+
+/// One gated metric: the fresh measurement, the committed baseline, and
+/// the derived limit it is held to.
+#[derive(Debug, Clone)]
+pub enum GateCheck {
+    /// A metric that was measured and compared.
+    Measured {
+        /// Metric name as printed.
+        name: String,
+        /// Freshly measured value.
+        current: f64,
+        /// Committed baseline value.
+        baseline: f64,
+        /// Passing side of `limit`.
+        bound: Bound,
+        /// The limit derived from the baseline and tolerance.
+        limit: f64,
+        /// Allowed regression fraction the limit was derived with.
+        tolerance: f64,
+    },
+    /// A metric that could not be measured here (never fails the gate).
+    Skipped {
+        /// Metric name as printed.
+        name: String,
+        /// Why it was skipped.
+        reason: String,
+    },
+}
+
+impl GateCheck {
+    /// A floor check: `current >= limit` passes.
+    pub fn floor(name: impl Into<String>, current: f64, baseline: f64, limit: f64, tolerance: f64) -> Self {
+        GateCheck::Measured { name: name.into(), current, baseline, bound: Bound::Floor, limit, tolerance }
+    }
+
+    /// A ceiling check: `current <= limit` passes.
+    pub fn ceiling(name: impl Into<String>, current: f64, baseline: f64, limit: f64, tolerance: f64) -> Self {
+        GateCheck::Measured { name: name.into(), current, baseline, bound: Bound::Ceiling, limit, tolerance }
+    }
+
+    /// A check skipped on this machine (counts as passing).
+    pub fn skipped(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        GateCheck::Skipped { name: name.into(), reason: reason.into() }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        match self {
+            GateCheck::Measured { name, .. } | GateCheck::Skipped { name, .. } => name,
+        }
+    }
+
+    /// Whether this check passes the gate.
+    pub fn passes(&self) -> bool {
+        match self {
+            GateCheck::Measured { current, bound: Bound::Floor, limit, .. } => current >= limit,
+            GateCheck::Measured { current, bound: Bound::Ceiling, limit, .. } => current <= limit,
+            GateCheck::Skipped { .. } => true,
+        }
+    }
+}
+
+/// The one-line report format. Every measured line carries current,
+/// baseline, limit and tolerance; a failing line additionally names the
+/// violated side, so the CI log alone is enough to diagnose a regression:
+///
+/// ```text
+/// PASS simd_speedup: current 2.5000 vs baseline 2.6000 (floor 2.3400, tolerance 10%)
+/// FAIL simd_speedup: current 1.9000 vs baseline 2.6000 — below floor 2.3400 (tolerance 10%)
+/// SKIP simd_speedup: AVX2 unavailable on this machine
+/// ```
+impl fmt::Display for GateCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateCheck::Skipped { name, reason } => write!(f, "SKIP {name}: {reason}"),
+            GateCheck::Measured { name, current, baseline, bound, limit, tolerance } => {
+                let side = match bound {
+                    Bound::Floor => "floor",
+                    Bound::Ceiling => "ceiling",
+                };
+                let tol = format!("tolerance {:.0}%", tolerance * 100.0);
+                if self.passes() {
+                    write!(f, "PASS {name}: current {current:.4} vs baseline {baseline:.4} ({side} {limit:.4}, {tol})")
+                } else {
+                    let violation = match bound {
+                        Bound::Floor => "below",
+                        Bound::Ceiling => "above",
+                    };
+                    write!(
+                        f,
+                        "FAIL {name}: current {current:.4} vs baseline {baseline:.4} — {violation} {side} {limit:.4} ({tol})"
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Render every check (one line each) and report whether all passed.
+pub fn render_all(checks: &[GateCheck]) -> (String, bool) {
+    let mut out = String::new();
+    let mut all_pass = true;
+    for check in checks {
+        out.push_str(&check.to_string());
+        out.push('\n');
+        all_pass &= check.passes();
+    }
+    (out, all_pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_line_format_is_stable() {
+        let check = GateCheck::floor("simd_speedup", 2.5, 2.6, 2.34, 0.10);
+        assert!(check.passes());
+        assert_eq!(
+            check.to_string(),
+            "PASS simd_speedup: current 2.5000 vs baseline 2.6000 (floor 2.3400, tolerance 10%)"
+        );
+    }
+
+    #[test]
+    fn fail_line_names_the_violated_floor() {
+        let check = GateCheck::floor("simd_speedup", 1.9, 2.6, 2.34, 0.10);
+        assert!(!check.passes());
+        assert_eq!(
+            check.to_string(),
+            "FAIL simd_speedup: current 1.9000 vs baseline 2.6000 — below floor 2.3400 (tolerance 10%)"
+        );
+    }
+
+    #[test]
+    fn fail_line_names_the_violated_ceiling() {
+        let check = GateCheck::ceiling("bf16_rel_error", 0.05, 0.001, 0.01, 1.0);
+        assert!(!check.passes());
+        assert_eq!(
+            check.to_string(),
+            "FAIL bf16_rel_error: current 0.0500 vs baseline 0.0010 — above ceiling 0.0100 (tolerance 100%)"
+        );
+    }
+
+    #[test]
+    fn skipped_checks_always_pass() {
+        let check = GateCheck::skipped("simd_speedup", "AVX2 unavailable on this machine");
+        assert!(check.passes());
+        assert_eq!(check.to_string(), "SKIP simd_speedup: AVX2 unavailable on this machine");
+        assert_eq!(check.name(), "simd_speedup");
+    }
+
+    #[test]
+    fn boundary_values_pass_on_both_sides() {
+        assert!(GateCheck::floor("x", 2.0, 2.0, 2.0, 0.0).passes(), "exactly at the floor passes");
+        assert!(GateCheck::ceiling("x", 2.0, 2.0, 2.0, 0.0).passes(), "exactly at the ceiling passes");
+    }
+
+    #[test]
+    fn render_all_aggregates_and_reports_failure() {
+        let checks = vec![
+            GateCheck::floor("a", 2.0, 2.0, 1.8, 0.10),
+            GateCheck::floor("b", 1.0, 2.0, 1.8, 0.10),
+            GateCheck::skipped("c", "not on this machine"),
+        ];
+        let (text, all_pass) = render_all(&checks);
+        assert!(!all_pass, "one failing check fails the gate");
+        assert_eq!(text.lines().count(), 3, "one line per check");
+        assert!(text.lines().nth(1).expect("line").starts_with("FAIL b:"));
+    }
+}

@@ -6,6 +6,7 @@
 //! the experiment index and `EXPERIMENTS.md` for recorded outputs.
 
 pub mod experiments;
+pub mod gate;
 pub mod runners;
 
 /// Render a row of a fixed-width text table.

@@ -184,6 +184,36 @@ impl CannikinTrainer {
         self.effective_epochs
     }
 
+    /// Cumulative wall time (simulated epoch time plus measured optimizer
+    /// overhead) so far, s.
+    pub fn cumulative_time(&self) -> f64 {
+        self.cumulative_time
+    }
+
+    /// Epochs run so far (the next epoch's index).
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+
+    /// The noise model's gradient noise scale φ at the current progress —
+    /// the demand signal a fleet-level allocator reads to decide whether
+    /// this job is starved of statistical efficiency or past its knee.
+    pub fn noise_scale_now(&self) -> f64 {
+        self.noise.noise_scale(self.effective_epochs)
+    }
+
+    /// Restore checkpointed statistical progress after a full preemption:
+    /// a re-admitted job resumes its effective-epoch count, wall clock and
+    /// epoch index instead of restarting from zero. Performance models are
+    /// *not* restored — the new node set re-profiles through the Eq. (8)
+    /// bootstrap (or a [`CannikinTrainer::warm_start`], when the membership
+    /// is unchanged).
+    pub fn restore_progress(&mut self, effective_epochs: f64, cumulative_time: f64, epochs_run: usize) {
+        self.effective_epochs = effective_epochs;
+        self.cumulative_time = cumulative_time;
+        self.epoch = epochs_run;
+    }
+
     /// Run one epoch and return its record.
     ///
     /// # Errors

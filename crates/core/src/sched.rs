@@ -1,5 +1,16 @@
 //! Multi-job scheduling over a shared heterogeneous pool (§6).
 //!
+//! **Deprecated.** The `cannikin-fleet` crate supersedes this module with
+//! a real control plane: an admission queue with priority classes, a
+//! GNS-demand-driven allocator with FIFO/static baselines, epoch-boundary
+//! preemption, and fleet-wide goodput accounting. This module cannot be
+//! rewritten as a thin wrapper over the fleet controller because
+//! `cannikin-fleet` depends on `cannikin-core` (it drives
+//! `CannikinTrainer`s) — wrapping it here would create a circular crate
+//! dependency. The types stay compiling, `#[deprecated]`, for downstream
+//! code still on the old API; new code should use
+//! `cannikin_fleet::FleetController`.
+//!
 //! Existing dynamic schedulers allocate *homogeneous* slices per job; the
 //! paper argues Cannikin unlocks schedulers that hand every job a
 //! heterogeneous sub-cluster, because the job-level system absorbs
@@ -20,6 +31,10 @@
 //! most one epoch of idleness per freed node, negligible at the epoch
 //! horizons the paper studies.
 
+// The deprecated types refer to each other (impls, fields, tests); the
+// deprecation is aimed at external callers, not at this module itself.
+#![allow(deprecated)]
+
 use crate::engine::{CannikinTrainer, EpochRecord, NoiseModel, TrainerConfig};
 use crate::error::CannikinError;
 
@@ -28,6 +43,7 @@ use hetsim::job::JobSpec;
 use hetsim::Simulator;
 
 /// A job managed by the scheduler.
+#[deprecated(since = "0.1.0", note = "use `cannikin_fleet::FleetController` instead")]
 pub struct ScheduledJob {
     /// Job name (for reports).
     pub name: String,
@@ -90,12 +106,14 @@ impl ScheduledJob {
 }
 
 /// A cooperative multi-job scheduler over disjoint node sets.
+#[deprecated(since = "0.1.0", note = "use `cannikin_fleet::FleetController` instead")]
 #[derive(Debug, Default)]
 pub struct MultiJobScheduler {
     jobs: Vec<ScheduledJob>,
 }
 
 /// Completion summary for one job.
+#[deprecated(since = "0.1.0", note = "use `cannikin_fleet::FleetReport` instead")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSummary {
     /// Job name.

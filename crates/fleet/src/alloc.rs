@@ -1,0 +1,240 @@
+//! The fleet allocator: split the pool's nodes over the admitted jobs.
+//!
+//! This is OptPerf's shape one level up. OptPerf answers "given a total
+//! batch B and n heterogeneous GPUs, what per-GPU split equalizes
+//! finish times?"; the fleet allocator answers "given a pool of nodes
+//! and m jobs with GNS-driven node demands, what per-job node counts
+//! maximize aggregate goodput subject to weighted fairness?". Because a
+//! Cannikin job absorbs any node mix, the allocator only has to pick
+//! *counts* — the per-job OptPerf solver makes whatever nodes it is
+//! handed productive.
+//!
+//! Three policies, all deterministic:
+//!
+//! - [`AllocPolicy::Cannikin`] — weighted max-min fair share over the
+//!   jobs' GNS-driven demands: every admissible job first gets its
+//!   minimum (highest weight first), then spare nodes water-fill toward
+//!   demand, each unit going to the job whose `allocation/weight` is
+//!   lowest. Demand-capped, so a job past its statistical knee releases
+//!   nodes for others.
+//! - [`AllocPolicy::Fifo`] — strict head-of-line: jobs in arrival order
+//!   each take up to their `max_nodes`; a job whose minimum cannot be
+//!   met blocks everything behind it.
+//! - [`AllocPolicy::Static`] — the pool is carved into fixed equal
+//!   slices, one per job in the trace, up front; a job only ever runs in
+//!   its own slice.
+
+use crate::pool::NodePool;
+
+/// How the fleet divides nodes among jobs at each epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Weighted max-min fair share over GNS-driven demands (the paper's
+    /// §6 direction; the policy under test).
+    Cannikin,
+    /// Head-of-line arrival order (baseline).
+    Fifo,
+    /// Fixed equal partition of the pool (baseline).
+    Static,
+}
+
+impl AllocPolicy {
+    /// Stable string tag (reports and logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllocPolicy::Cannikin => "cannikin",
+            AllocPolicy::Fifo => "fifo",
+            AllocPolicy::Static => "static",
+        }
+    }
+}
+
+/// One admitted (queued or running) job's view, as the allocator sees it.
+#[derive(Debug, Clone)]
+pub struct JobDemand {
+    /// Index into the controller's job list (stable identity).
+    pub job: usize,
+    /// Fair-share weight (priority class).
+    pub weight: f64,
+    /// Arrival time — FIFO order and deterministic tie-break.
+    pub arrival: f64,
+    /// Fewest nodes the job will run on. For a *running* job this is
+    /// `min(spec.min_nodes, held)` so node deaths below the spec minimum
+    /// shrink the floor instead of forcing an eviction.
+    pub min_nodes: usize,
+    /// Hard cap from the spec (already clamped to pool and base batch).
+    pub max_nodes: usize,
+    /// GNS-driven desired node count, in `[min_nodes, max_nodes]`.
+    pub want: usize,
+    /// Nodes currently held (0 for queued jobs).
+    pub held: usize,
+    /// The job's static slice size (used by [`AllocPolicy::Static`]).
+    pub slice: usize,
+    /// Submission rank by `(arrival, name)` (used by [`AllocPolicy::Fifo`]).
+    pub fifo_rank: usize,
+}
+
+/// Compute per-job node targets for this epoch boundary. The result is
+/// index-aligned with `demands`; entries are final node counts (0 = the
+/// job stays queued / is fully evicted).
+///
+/// Only counts are decided here — the controller maps counts to concrete
+/// node ids (shrink slowest-first, grant fastest-first).
+pub fn targets(policy: AllocPolicy, demands: &[JobDemand], pool: &NodePool) -> Vec<usize> {
+    let free = pool.free_ids().len();
+    let budget = free + demands.iter().map(|d| d.held).sum::<usize>();
+    match policy {
+        AllocPolicy::Cannikin => weighted_max_min(demands, budget),
+        AllocPolicy::Fifo => fifo(demands, budget),
+        AllocPolicy::Static => demands.iter().map(|d| d.slice.min(d.max_nodes)).collect(),
+    }
+}
+
+/// Weighted max-min: minimums first (weight desc, arrival, index), then
+/// water-fill single nodes toward demand, lowest `target/weight` first.
+fn weighted_max_min(demands: &[JobDemand], mut budget: usize) -> Vec<usize> {
+    let mut target = vec![0usize; demands.len()];
+
+    // Pass 1: grant every job its minimum while budget lasts, highest
+    // weight first so low-priority jobs are the ones left queued under
+    // contention. Jobs whose minimum does not fit stay at 0 (queued).
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| {
+        demands[b]
+            .weight
+            .total_cmp(&demands[a].weight)
+            .then(demands[a].arrival.total_cmp(&demands[b].arrival))
+            .then(a.cmp(&b))
+    });
+    for &i in &order {
+        let need = demands[i].min_nodes;
+        if need > 0 && need <= budget {
+            target[i] = need;
+            budget -= need;
+        }
+    }
+
+    // Pass 2: water-fill. Each spare node goes to the admitted job with
+    // the lowest weighted allocation that still wants more. Ties break
+    // by (weight desc, arrival, index) — fully deterministic.
+    loop {
+        if budget == 0 {
+            break;
+        }
+        let next = order
+            .iter()
+            .copied()
+            .filter(|&i| target[i] > 0 || demands[i].min_nodes == 0)
+            .filter(|&i| target[i] < demands[i].want.min(demands[i].max_nodes))
+            .min_by(|&a, &b| {
+                let fa = target[a] as f64 / demands[a].weight;
+                let fb = target[b] as f64 / demands[b].weight;
+                fa.total_cmp(&fb)
+                    .then(demands[b].weight.total_cmp(&demands[a].weight))
+                    .then(demands[a].arrival.total_cmp(&demands[b].arrival))
+                    .then(a.cmp(&b))
+            });
+        match next {
+            Some(i) => {
+                target[i] += 1;
+                budget -= 1;
+            }
+            None => break,
+        }
+    }
+    target
+}
+
+/// Strict FIFO: in submission order, each job takes up to `max_nodes`
+/// (at least `min_nodes`); the first job that cannot get its minimum
+/// blocks the line. No demand awareness — the classic baseline the
+/// paper's adaptive scheduler is measured against.
+fn fifo(demands: &[JobDemand], mut budget: usize) -> Vec<usize> {
+    let mut target = vec![0usize; demands.len()];
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by_key(|&i| demands[i].fifo_rank);
+    for &i in &order {
+        if demands[i].min_nodes > budget {
+            break; // head-of-line blocking
+        }
+        let take = demands[i].max_nodes.min(budget);
+        target[i] = take;
+        budget -= take;
+    }
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::catalog::Gpu;
+    use hetsim::cluster::NodeSpec;
+
+    fn demand(job: usize, weight: f64, want: usize) -> JobDemand {
+        JobDemand {
+            job,
+            weight,
+            arrival: job as f64,
+            min_nodes: 1,
+            max_nodes: 16,
+            want,
+            held: 0,
+            slice: 2,
+            fifo_rank: job,
+        }
+    }
+
+    fn pool(n: usize) -> NodePool {
+        NodePool::new((0..n).map(|i| NodeSpec::new(format!("n{i}"), Gpu::A100)).collect())
+    }
+
+    #[test]
+    fn weighted_max_min_respects_weights() {
+        // 8 nodes, three jobs all wanting everything, weights 4/2/1.
+        let demands =
+            vec![demand(0, 4.0, 16), demand(1, 2.0, 16), demand(2, 1.0, 16)];
+        let t = targets(AllocPolicy::Cannikin, &demands, &pool(8));
+        assert_eq!(t.iter().sum::<usize>(), 8, "all nodes handed out");
+        assert!(t[0] > t[1] && t[1] >= t[2], "allocation follows weight: {t:?}");
+    }
+
+    #[test]
+    fn cannikin_is_demand_capped() {
+        // A job past its knee (want = 1) leaves nodes for the others.
+        let demands = vec![demand(0, 4.0, 1), demand(1, 1.0, 16)];
+        let t = targets(AllocPolicy::Cannikin, &demands, &pool(6));
+        assert_eq!(t[0], 1, "no overfeeding past demand");
+        assert_eq!(t[1], 5, "spare capacity flows to whoever wants it");
+    }
+
+    #[test]
+    fn fifo_blocks_behind_unmet_minimum() {
+        let mut d0 = demand(0, 1.0, 4);
+        d0.min_nodes = 4;
+        d0.max_nodes = 4;
+        let mut d1 = demand(1, 4.0, 1);
+        d1.min_nodes = 3;
+        let t = targets(AllocPolicy::Fifo, &[d0, d1], &pool(4));
+        assert_eq!(t, vec![4, 0], "head-of-line job takes all, next blocks");
+    }
+
+    #[test]
+    fn static_ignores_demand() {
+        let demands = vec![demand(0, 1.0, 16), demand(1, 4.0, 1)];
+        let t = targets(AllocPolicy::Static, &demands, &pool(8));
+        assert_eq!(t, vec![2, 2], "fixed slices regardless of want");
+    }
+
+    #[test]
+    fn minimums_served_by_weight_under_contention() {
+        // 3 nodes, three jobs each with min 2: only the heaviest fits.
+        let mut ds = vec![demand(0, 1.0, 4), demand(1, 4.0, 4), demand(2, 2.0, 4)];
+        for d in &mut ds {
+            d.min_nodes = 2;
+        }
+        let t = targets(AllocPolicy::Cannikin, &ds, &pool(3));
+        assert_eq!(t[1], 3, "production job admitted and water-filled");
+        assert_eq!(t[0], 0);
+        assert_eq!(t[2], 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fleet-wide accounting: per-job outcomes and the aggregate report.
+
+use crate::alloc::AllocPolicy;
+
+/// What happened to one job over the run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job name (from the spec).
+    pub name: String,
+    /// Priority tag (`"production"`, `"standard"`, `"best_effort"`).
+    pub priority: &'static str,
+    /// Submission time, fleet seconds.
+    pub arrival: f64,
+    /// First admission time (first node grant), fleet seconds.
+    pub admitted_at: f64,
+    /// Completion time, fleet seconds.
+    pub finished_at: f64,
+    /// Statistical progress achieved (effective epochs).
+    pub effective_epochs: f64,
+    /// Simulated epochs executed.
+    pub epochs_run: usize,
+    /// Node-seconds of service received (Σ nodes_held × epoch_time).
+    pub service: f64,
+    /// Times the job lost at least one node to preemption or failure.
+    pub preemptions: usize,
+}
+
+impl JobOutcome {
+    /// Queueing delay: time from submission to first node grant.
+    pub fn queue_delay(&self) -> f64 {
+        (self.admitted_at - self.arrival).max(0.0)
+    }
+}
+
+/// Aggregate result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The allocation policy that produced this schedule.
+    pub policy: AllocPolicy,
+    /// Time at which the last job finished, fleet seconds.
+    pub makespan: f64,
+    /// Fleet goodput: Σ_j effective_epochs_j × dataset_size_j, divided
+    /// by makespan — statistically useful samples per second across the
+    /// whole stream (the paper's goodput, summed over tenants).
+    pub aggregate_goodput: f64,
+    /// Mean queueing delay across jobs, seconds.
+    pub mean_queue_delay: f64,
+    /// Jain fairness index over weighted service (`service/weight`):
+    /// 1.0 = perfectly proportional to priority weights.
+    pub fairness: f64,
+    /// Fleet allocation decisions taken (epoch boundaries evaluated).
+    pub decisions: u64,
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`. 1.0 when all `xs` are
+/// equal, → 1/n as one value dominates. Empty or all-zero input → 1.0
+/// (nothing to be unfair about).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_fairness(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        let skew = jain_fairness(&[10.0, 0.0, 0.0]);
+        assert!((skew - 1.0 / 3.0).abs() < 1e-12, "one hog → 1/n: {skew}");
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn queue_delay_clamps_at_zero() {
+        let j = JobOutcome {
+            name: "x".into(),
+            priority: "standard",
+            arrival: 5.0,
+            admitted_at: 5.0,
+            finished_at: 10.0,
+            effective_epochs: 1.0,
+            epochs_run: 3,
+            service: 12.0,
+            preemptions: 0,
+        };
+        assert_eq!(j.queue_delay(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Handoff invariants of the fleet control plane (ISSUE 7 acceptance):
+//! exclusive node ownership at every decision, statistical progress
+//! surviving preemption, bitwise-identical same-seed schedules, and a
+//! chaos scenario where fault-plan crashes shrink the pool mid-run
+//! without wedging the stream.
+
+use cannikin_core::engine::TrainerConfig;
+use cannikin_fleet::{synthetic_trace, AllocPolicy, FleetController, FleetJobSpec, Priority};
+use hetsim::catalog::Gpu;
+use hetsim::cluster::NodeSpec;
+use hetsim::job::JobSpec;
+use hetsim::FaultPlan;
+
+fn mixed_pool(n: usize) -> Vec<NodeSpec> {
+    let gpus = [Gpu::A100, Gpu::V100, Gpu::Rtx6000];
+    (0..n).map(|i| NodeSpec::new(format!("{}-{i}", gpus[i % 3]), gpus[i % 3])).collect()
+}
+
+/// Pull the quoted node names out of one schedule-log line
+/// (`d3 t=12.5 cifar-0=["a100-0", "v100-1"] bert-1=[]`).
+fn granted_names(line: &str) -> Vec<&str> {
+    line.split('"').skip(1).step_by(2).collect()
+}
+
+#[test]
+fn no_node_serves_two_jobs_in_one_decision() {
+    for policy in [AllocPolicy::Cannikin, AllocPolicy::Fifo, AllocPolicy::Static] {
+        let mut fleet =
+            FleetController::new(mixed_pool(6), synthetic_trace(7, 4, 20.0), policy).expect("valid fleet");
+        fleet.run_to_completion(50_000).expect("stream drains");
+        assert!(!fleet.schedule_log().is_empty(), "{policy:?}: decisions were logged");
+        assert_eq!(
+            fleet.schedule_log().len(),
+            fleet.assignment_history().len(),
+            "{policy:?}: one pool snapshot per decision"
+        );
+        for line in fleet.schedule_log() {
+            let mut names = granted_names(line);
+            let held = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), held, "{policy:?}: node granted twice in `{line}`");
+        }
+    }
+}
+
+#[test]
+fn progress_survives_full_preemption() {
+    // Two nodes; a best-effort job holds both until a production job
+    // arrives demanding the whole pool (min_nodes = 2). The allocator
+    // must evict the best-effort tenant, run the production job, then
+    // re-admit the victim — which must *resume* its effective-epoch
+    // count, not restart from zero.
+    let nodes = vec![NodeSpec::new("v100-0", Gpu::V100), NodeSpec::new("v100-1", Gpu::V100)];
+    let victim = FleetJobSpec::new(
+        "victim",
+        JobSpec::resnet18_cifar10(),
+        TrainerConfig::new(6_400, 64, 512),
+        6.0,
+    )
+    .priority(Priority::BestEffort)
+    .noise(300.0, 1.0)
+    .seed(11);
+    let vip = FleetJobSpec::new(
+        "vip",
+        JobSpec::resnet18_cifar10(),
+        TrainerConfig::new(6_400, 64, 512),
+        2.0,
+    )
+    .priority(Priority::Production)
+    .node_range(2, 2)
+    .noise(300.0, 1.0)
+    .arrival(5.0)
+    .seed(13);
+    let mut fleet =
+        FleetController::new(nodes, vec![victim, vip], AllocPolicy::Cannikin).expect("valid fleet");
+    let report = fleet.run_to_completion(50_000).expect("stream drains");
+
+    let victim_out = report.jobs.iter().find(|j| j.name == "victim").expect("victim reported");
+    assert!(victim_out.preemptions >= 1, "the production job forced an eviction");
+    assert!(
+        victim_out.effective_epochs >= 6.0,
+        "victim reached its target: {:.3}",
+        victim_out.effective_epochs
+    );
+
+    // The epoch records span the preemption; cumulative progress must be
+    // monotone across the boundary (restore, not restart).
+    let records = fleet.job_records("victim").expect("victim records");
+    assert!(records.len() >= 2, "victim ran on both sides of the eviction");
+    for pair in records.windows(2) {
+        assert!(
+            pair[1].effective_epochs >= pair[0].effective_epochs,
+            "progress went backwards: {:.4} -> {:.4}",
+            pair[0].effective_epochs,
+            pair[1].effective_epochs
+        );
+    }
+}
+
+#[test]
+fn same_seed_schedules_are_bitwise_identical() {
+    let run = || {
+        let mut fleet =
+            FleetController::new(mixed_pool(6), synthetic_trace(17, 5, 25.0), AllocPolicy::Cannikin)
+                .expect("valid fleet");
+        let report = fleet.run_to_completion(50_000).expect("stream drains");
+        (fleet.schedule_log().to_vec(), fleet.assignment_history().to_vec(), report)
+    };
+    let (log_a, hist_a, rep_a) = run();
+    let (log_b, hist_b, rep_b) = run();
+    assert_eq!(log_a, log_b, "schedule logs diverged");
+    assert_eq!(hist_a, hist_b, "assignment histories diverged");
+    assert_eq!(rep_a.makespan.to_bits(), rep_b.makespan.to_bits());
+    assert_eq!(rep_a.aggregate_goodput.to_bits(), rep_b.aggregate_goodput.to_bits());
+}
+
+#[test]
+fn fleet_survives_mid_run_node_crashes() {
+    // One tenant carries a fault plan that crashes a node mid-run. The
+    // trainer's fault-aware loop evicts it from the job's simulator; the
+    // controller must reconcile the death into the shared pool (the node
+    // never returns) while the rest of the stream still drains.
+    let pool = mixed_pool(4);
+    let total = pool.len();
+    let faulty = FleetJobSpec::new(
+        "faulty",
+        JobSpec::resnet18_cifar10(),
+        TrainerConfig::new(6_400, 64, 512),
+        3.0,
+    )
+    .node_range(2, 3)
+    .noise(300.0, 1.0)
+    .seed(5)
+    .fault_plan(FaultPlan::new(5).crash_at(40, 0));
+    let bystander = FleetJobSpec::new(
+        "bystander",
+        JobSpec::neumf_movielens(),
+        TrainerConfig::new(6_400, 64, 512),
+        2.0,
+    )
+    .arrival(10.0)
+    .noise(250.0, 1.2)
+    .seed(6);
+    let mut fleet =
+        FleetController::new(pool, vec![faulty, bystander], AllocPolicy::Cannikin).expect("valid fleet");
+    let report = fleet.run_to_completion(50_000).expect("stream drains despite the crash");
+
+    assert!(fleet.pool().live() < total, "the crashed node left the pool");
+    for job in &report.jobs {
+        assert!(
+            job.effective_epochs > 0.0,
+            "{} made progress despite the crash",
+            job.name
+        );
+    }
+    let crashed: Vec<usize> = (0..total).filter(|&id| fleet.pool().is_dead(id)).collect();
+    assert_eq!(crashed.len(), total - fleet.pool().live());
+}

@@ -300,6 +300,85 @@ pub struct RecoveryAction {
     pub backoff_ns: u64,
 }
 
+/// Why a fleet job lost nodes (the `reason` of a [`JobPreempted`] event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreemptKind {
+    /// The weighted fair-share allocator rebalanced nodes toward jobs
+    /// with more statistical headroom.
+    FairShare,
+    /// A higher-priority job evicted this one from (part of) its nodes.
+    PriorityEviction,
+    /// The nodes died (crash/leave surfaced by the job's fault plan);
+    /// they return to the pool as dead, not as free capacity.
+    NodeFailure,
+}
+
+impl PreemptKind {
+    /// Stable string tag (the `reason` field of the JSONL form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PreemptKind::FairShare => "fair_share",
+            PreemptKind::PriorityEviction => "priority_eviction",
+            PreemptKind::NodeFailure => "node_failure",
+        }
+    }
+
+    fn parse(s: &str) -> Option<PreemptKind> {
+        match s {
+            "fair_share" => Some(PreemptKind::FairShare),
+            "priority_eviction" => Some(PreemptKind::PriorityEviction),
+            "node_failure" => Some(PreemptKind::NodeFailure),
+            _ => None,
+        }
+    }
+}
+
+/// A queued fleet job was admitted onto its first (or a fresh) node set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobAdmitted {
+    /// Job name.
+    pub job: String,
+    /// Nodes granted at admission.
+    pub nodes: u32,
+    /// Seconds the job spent queued before this admission.
+    pub queued_s: f64,
+}
+
+/// A fleet job lost nodes at an epoch boundary (shrink or full eviction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobPreempted {
+    /// Job name.
+    pub job: String,
+    /// Nodes taken away by this decision.
+    pub nodes_lost: u32,
+    /// Why the job was preempted.
+    pub reason: PreemptKind,
+}
+
+/// One pool node was granted to a fleet job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeGranted {
+    /// Pool node name.
+    pub node: String,
+    /// Receiving job name.
+    pub job: String,
+}
+
+/// One fleet-allocator decision round (taken at an epoch boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetDecision {
+    /// Monotone decision counter within the controller's lifetime.
+    pub decision: u64,
+    /// Jobs running after the decision.
+    pub running: u32,
+    /// Jobs still queued after the decision.
+    pub queued: u32,
+    /// Nodes that changed owner (granted, revoked, or both) this round.
+    pub reassigned: u32,
+    /// Live (non-dead) pool size the allocator distributed.
+    pub pool: u32,
+}
+
 /// A detector's verdict that the run left its expected envelope (emitted
 /// by `cannikin-insight` monitors, online or during offline replay).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -358,6 +437,14 @@ pub enum Event {
     FaultInjected(FaultInjected),
     /// A component recovered from a fault (retry, group change, replan).
     RecoveryAction(RecoveryAction),
+    /// The fleet control plane admitted a queued job.
+    JobAdmitted(JobAdmitted),
+    /// The fleet control plane preempted (part of) a job's nodes.
+    JobPreempted(JobPreempted),
+    /// The fleet control plane granted one node to a job.
+    NodeGranted(NodeGranted),
+    /// One fleet-allocator decision round.
+    FleetDecision(FleetDecision),
     /// A named counter sample.
     Counter(Counter),
     /// A span opening.
@@ -380,6 +467,10 @@ impl Event {
             Event::AnomalyDetected(_) => "anomaly",
             Event::FaultInjected(_) => "fault_injected",
             Event::RecoveryAction(_) => "recovery_action",
+            Event::JobAdmitted(_) => "job_admitted",
+            Event::JobPreempted(_) => "job_preempted",
+            Event::NodeGranted(_) => "node_granted",
+            Event::FleetDecision(_) => "fleet_decision",
             Event::Counter(_) => "counter",
             Event::SpanBegin(_) => "span_begin",
             Event::SpanEnd(_) => "span_end",
@@ -499,6 +590,27 @@ pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
             ("step".into(), Json::Num(e.step as f64)),
             ("attempt".into(), Json::Num(f64::from(e.attempt))),
             ("backoff_ns".into(), Json::Num(e.backoff_ns as f64)),
+        ],
+        Event::JobAdmitted(e) => vec![
+            ("job".into(), Json::Str(e.job.clone())),
+            ("nodes".into(), Json::Num(f64::from(e.nodes))),
+            ("queued_s".into(), Json::num(e.queued_s)),
+        ],
+        Event::JobPreempted(e) => vec![
+            ("job".into(), Json::Str(e.job.clone())),
+            ("nodes_lost".into(), Json::Num(f64::from(e.nodes_lost))),
+            ("reason".into(), Json::Str(e.reason.as_str().into())),
+        ],
+        Event::NodeGranted(e) => vec![
+            ("node_name".into(), Json::Str(e.node.clone())),
+            ("job".into(), Json::Str(e.job.clone())),
+        ],
+        Event::FleetDecision(e) => vec![
+            ("decision".into(), Json::Num(e.decision as f64)),
+            ("running".into(), Json::Num(f64::from(e.running))),
+            ("queued".into(), Json::Num(f64::from(e.queued))),
+            ("reassigned".into(), Json::Num(f64::from(e.reassigned))),
+            ("pool".into(), Json::Num(f64::from(e.pool))),
         ],
         Event::Counter(e) => vec![
             ("name".into(), Json::Str(e.name.clone())),
@@ -629,6 +741,34 @@ fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
                 backoff_ns: req_u64(v, "backoff_ns")?,
             }))
         }
+        "job_admitted" => Ok(Event::JobAdmitted(JobAdmitted {
+            job: req_str(v, "job")?,
+            nodes: req_u64(v, "nodes")? as u32,
+            queued_s: req_f64(v, "queued_s")?,
+        })),
+        "job_preempted" => {
+            let reason = v
+                .get("reason")
+                .and_then(Json::as_str)
+                .and_then(PreemptKind::parse)
+                .ok_or("missing or unknown `reason`")?;
+            Ok(Event::JobPreempted(JobPreempted {
+                job: req_str(v, "job")?,
+                nodes_lost: req_u64(v, "nodes_lost")? as u32,
+                reason,
+            }))
+        }
+        "node_granted" => Ok(Event::NodeGranted(NodeGranted {
+            node: req_str(v, "node_name")?,
+            job: req_str(v, "job")?,
+        })),
+        "fleet_decision" => Ok(Event::FleetDecision(FleetDecision {
+            decision: req_u64(v, "decision")?,
+            running: req_u64(v, "running")? as u32,
+            queued: req_u64(v, "queued")? as u32,
+            reassigned: req_u64(v, "reassigned")? as u32,
+            pool: req_u64(v, "pool")? as u32,
+        })),
         "counter" => Ok(Event::Counter(Counter { name: req_str(v, "name")?, value: req_f64(v, "value")? })),
         "span_begin" => Ok(Event::SpanBegin(Span { name: req_str(v, "name")? })),
         "span_end" => Ok(Event::SpanEnd(Span { name: req_str(v, "name")? })),
@@ -715,6 +855,19 @@ mod tests {
                 attempt: 0,
                 backoff_ns: 0,
             }),
+            Event::JobAdmitted(JobAdmitted { job: "cifar-short".into(), nodes: 4, queued_s: 37.5 }),
+            Event::JobPreempted(JobPreempted {
+                job: "imagenet-long".into(),
+                nodes_lost: 2,
+                reason: PreemptKind::FairShare,
+            }),
+            Event::JobPreempted(JobPreempted {
+                job: "bert-squad".into(),
+                nodes_lost: 1,
+                reason: PreemptKind::NodeFailure,
+            }),
+            Event::NodeGranted(NodeGranted { node: "a100-0".into(), job: "cifar-short".into() }),
+            Event::FleetDecision(FleetDecision { decision: 9, running: 3, queued: 1, reassigned: 2, pool: 8 }),
             Event::Counter(Counter { name: "epoch_time_s".into(), value: 12.5 }),
             Event::SpanBegin(Span { name: "epoch".into() }),
             Event::SpanEnd(Span { name: "epoch".into() }),
@@ -752,7 +905,7 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds: std::collections::HashSet<&str> = one_of_each().iter().map(Event::kind).collect();
-        assert_eq!(kinds.len(), 12);
+        assert_eq!(kinds.len(), 16);
     }
 
     #[test]

@@ -48,9 +48,9 @@ pub mod trace;
 
 pub use env::{export_from_env, export_to, parse_targets, ExportTarget};
 pub use event::{
-    AllReduceBucket, AnomalyDetected, AnomalyKind, Counter, Event, FaultInjected, FaultKind, GnsEstimated,
-    GoodputEval, Record, RecoveryAction, RecoveryKind, SolverInvocation, Span, SplitDecision, SplitSource,
-    StepTiming,
+    AllReduceBucket, AnomalyDetected, AnomalyKind, Counter, Event, FaultInjected, FaultKind, FleetDecision,
+    GnsEstimated, GoodputEval, JobAdmitted, JobPreempted, NodeGranted, PreemptKind, Record, RecoveryAction,
+    RecoveryKind, SolverInvocation, Span, SplitDecision, SplitSource, StepTiming,
 };
 pub use hist::{Histogram, LayoutMismatch};
 pub use json::Json;

@@ -22,8 +22,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "==> cargo test --test chaos --release -q (all fault schedules)"
 cargo test --test chaos --release -q
 
+echo "==> cargo test -p cannikin-fleet --release -q (fleet control plane)"
+cargo test -p cannikin-fleet --release -q
+
 echo "==> perfgate vs committed BENCH_perf.json (10% ratio tolerance)"
 cargo run --release -p cannikin-bench --bin perfgate -- \
     --baseline BENCH_perf.json --out target/BENCH_perf.json
+
+echo "==> fleetgate vs committed BENCH_fleet.json (2% ratio tolerance)"
+cargo run --release -p cannikin-bench --bin fleetgate -- \
+    --baseline BENCH_fleet.json --out target/BENCH_fleet.json
 
 echo "tier-1: OK"

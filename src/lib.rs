@@ -26,6 +26,11 @@
 //!   telemetry stream (straggler/calibration/GNS-drift/bucket-imbalance
 //!   detectors behind [`insight::Monitor`]) plus the `cannikin-insight`
 //!   trace-replay CLI that reruns the same detectors offline.
+//! - [`fleet`] (`cannikin-fleet`) — the multi-tenant cluster control
+//!   plane (§6 direction): an admission queue with priority classes, a
+//!   fleet allocator that generalizes OptPerf from "a batch over n GPUs"
+//!   to "a node pool over m jobs", and epoch-boundary preemption through
+//!   the trainers' elastic-membership path.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +72,7 @@
 pub use cannikin_baselines as baselines;
 pub use cannikin_collectives as collectives;
 pub use cannikin_core as core;
+pub use cannikin_fleet as fleet;
 pub use cannikin_insight as insight;
 pub use cannikin_telemetry as telemetry;
 pub use cannikin_workloads as workloads;
@@ -91,6 +97,7 @@ pub mod prelude {
     };
     pub use cannikin_core::optperf::{OptPerfSolver, SolverInput};
     pub use cannikin_core::{CannikinError, RuntimeOptions};
+    pub use cannikin_fleet::{AllocPolicy, FleetController, FleetJobSpec, FleetReport, Priority};
     pub use cannikin_insight::Monitor;
     pub use cannikin_telemetry::Session;
     pub use hetsim::catalog::Gpu;

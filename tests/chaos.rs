@@ -292,6 +292,58 @@ fn chaos_elastic_join_leave_schedule() {
     check_determinism("elastic");
 }
 
+#[test]
+fn chaos_fleet_crash_schedule() {
+    if !schedule_enabled("fleet") {
+        return;
+    }
+    // Fleet-level chaos: a tenant's fault plan kills one of its granted
+    // nodes mid-run. The control plane must reconcile the death into the
+    // shared pool (the node never serves anyone again), keep the rest of
+    // the stream draining, and stay bitwise deterministic.
+    use cannikin::fleet::{AllocPolicy, FleetController, FleetJobSpec};
+    let run = || {
+        let pool = vec![
+            NodeSpec::new("a100-0", Gpu::A100),
+            NodeSpec::new("v100-0", Gpu::V100),
+            NodeSpec::new("v100-1", Gpu::V100),
+            NodeSpec::new("rtx-0", Gpu::Rtx6000),
+        ];
+        let faulty = FleetJobSpec::new(
+            "faulty",
+            JobSpec::resnet18_cifar10(),
+            TrainerConfig::new(6_400, 64, 512),
+            3.0,
+        )
+        .node_range(2, 3)
+        .noise(300.0, 1.0)
+        .seed(5)
+        .fault_plan(FaultPlan::new(5).crash_at(40, 0));
+        let bystander = FleetJobSpec::new(
+            "bystander",
+            JobSpec::neumf_movielens(),
+            TrainerConfig::new(6_400, 64, 512),
+            2.0,
+        )
+        .arrival(10.0)
+        .noise(250.0, 1.2)
+        .seed(6);
+        let mut fleet = FleetController::new(pool, vec![faulty, bystander], AllocPolicy::Cannikin)
+            .expect("valid fleet");
+        let report = fleet.run_to_completion(50_000).expect("the stream drains past the crash");
+        (fleet.schedule_log().to_vec(), fleet.pool().live(), report)
+    };
+    let (log_a, live_a, report_a) = run();
+    assert!(live_a < 4, "the crashed node left the shared pool");
+    for job in &report_a.jobs {
+        assert!(job.effective_epochs > 0.0, "{} made progress despite the crash", job.name);
+    }
+    let (log_b, live_b, report_b) = run();
+    assert_eq!(log_a, log_b, "fleet chaos must replay bitwise under the same seeds");
+    assert_eq!(live_a, live_b);
+    assert_eq!(report_a.makespan.to_bits(), report_b.makespan.to_bits());
+}
+
 // ----------------------------------------------------------- parallel engine
 
 fn parallel_config(n: usize, seed: u64) -> ParallelConfig {
