@@ -6,7 +6,7 @@
 //! instrumented. The enabled case measures the thread-local buffer push
 //! plus its amortized flush into the shared sink.
 
-use cannikin_telemetry::{self as telemetry, Counter, Event, Session};
+use cannikin_telemetry::{self as telemetry, Counter, Event, SeriesRecorder, Session};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -24,6 +24,16 @@ fn bench_disabled(c: &mut Criterion) {
     c.bench_function("telemetry/enabled_check_disabled", |b| {
         b.iter(|| black_box(telemetry::enabled()));
     });
+    // A registered subscriber must not change the disabled number: the
+    // early-out happens before the subscriber list is even looked at, so
+    // leaving a SeriesRecorder installed process-wide stays free while
+    // no session is live.
+    let recorder = SeriesRecorder::install();
+    c.bench_function("telemetry/emit_disabled_with_series_subscriber", |b| {
+        b.iter(|| telemetry::emit(black_box(event(7))));
+    });
+    assert_eq!(recorder.store().series_count(), 0, "disabled emits must never reach the store");
+    drop(recorder);
 }
 
 fn bench_enabled(c: &mut Criterion) {

@@ -61,10 +61,16 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn load_baseline(path: &str) -> Result<FleetBenchReport, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    FleetBenchReport::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    // A missing or stale baseline is the most common first-run failure:
+    // spell out where the file was expected and how to regenerate it.
+    let regen = format!(
+        "expected a committed fleet baseline at `{path}`; regenerate with\n  \
+         cargo run --release -p cannikin-bench --bin fleetgate -- --write-baseline {path}"
+    );
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {path}: {e}\n{regen}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}\n{regen}"))?;
+    FleetBenchReport::from_json(&json).map_err(|e| format!("{path}: {e}\n{regen}"))
 }
 
 /// The gated ratios, per pinned trace. Floors never drop below 1.0:

@@ -29,7 +29,7 @@ const MEAN_GAP_S: f64 = 30.0;
 
 /// The shared pool: 2×A100 + 2×V100 + 4×RTX6000 (the paper's mixed
 /// cluster shape, sized so contention is real but every job fits).
-fn fleet_pool() -> Vec<NodeSpec> {
+pub fn fleet_pool() -> Vec<NodeSpec> {
     let mut out = Vec::new();
     for (gpu, count) in [(Gpu::A100, 2), (Gpu::V100, 2), (Gpu::Rtx6000, 4)] {
         for i in 0..count {

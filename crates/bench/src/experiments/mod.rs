@@ -11,6 +11,7 @@ mod figures;
 mod fleet;
 mod insight;
 mod perf;
+mod slo;
 mod tables;
 mod telemetry;
 mod transport;
@@ -19,9 +20,10 @@ pub use ablations::{ablation_overlap, ablation_warm_start, accumulation, elastic
 pub use discussion::{cluster_c_experiment, hetero_sweep};
 pub use faults::faults;
 pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
-pub use fleet::{fleet, fleet_report, FleetBenchReport, PolicyOutcome, TraceOutcome, FLEET_SEEDS};
+pub use fleet::{fleet, fleet_pool, fleet_report, FleetBenchReport, PolicyOutcome, TraceOutcome, FLEET_SEEDS};
 pub use insight::insight_run;
 pub use perf::{perf, perf_report, PerfReport, PERF_SEED};
+pub use slo::slo;
 pub use tables::{table1, table6, table_prediction};
 pub use telemetry::{summarize, telemetry_summary};
 pub use transport::transport;
@@ -49,6 +51,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("fleet", fleet()),
         ("telemetry", telemetry_summary()),
         ("insight", insight_run()),
+        ("slo", slo()),
         ("transport", transport()),
         ("perf", perf()),
     ]
@@ -77,6 +80,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "fleet" => Some(fleet()),
         "telemetry" => Some(telemetry_summary()),
         "insight" => Some(insight_run()),
+        "slo" => Some(slo()),
         "transport" => Some(transport()),
         "perf" => Some(perf()),
         _ => None,
@@ -106,6 +110,7 @@ pub fn ids() -> Vec<&'static str> {
         "fleet",
         "telemetry",
         "insight",
+        "slo",
         "transport",
         "perf",
     ]

@@ -15,7 +15,7 @@
 //!    scale: the unbiased per-node estimators of Eq. (10) combined with the
 //!    minimum-variance weights of Theorem 4.1, and the Pollux-style
 //!    statistical-efficiency model built on it.
-//! 4. **Control** ([`goodput`], [`engine`], [`sched`]) — goodput-maximizing total
+//! 4. **Control** ([`goodput`], [`engine`]) — goodput-maximizing total
 //!    batch selection with the `OptPerf_init` candidate cache and
 //!    warm-started overlap-state search, the epoch-level
 //!    [`engine::CannikinTrainer`] driving a [`hetsim::Simulator`], and the
@@ -53,7 +53,6 @@ pub mod optperf;
 pub mod perf;
 pub mod planner;
 pub mod runtime;
-pub mod sched;
 
 pub use error::CannikinError;
 pub use runtime::RuntimeOptions;

@@ -41,7 +41,7 @@ use crate::spec::FleetJobSpec;
 use cannikin_core::engine::{CannikinTrainer, EpochRecord, NoiseModel};
 use cannikin_core::error::CannikinError;
 use cannikin_telemetry::{
-    self as telemetry, Event, FleetDecision, JobAdmitted, JobPreempted, NodeGranted, PreemptKind,
+    self as telemetry, Event, FleetDecision, FleetJobSample, JobAdmitted, JobPreempted, NodeGranted, PreemptKind, SloRule,
 };
 use hetsim::cluster::{ClusterSpec, NodeSpec};
 use hetsim::Simulator;
@@ -290,6 +290,18 @@ impl FleetController {
     /// The epoch records a job has produced so far (across preemptions).
     pub fn job_records(&self, name: &str) -> Option<&[EpochRecord]> {
         self.jobs.iter().find(|j| j.spec.name == name).map(|j| j.records.as_slice())
+    }
+
+    /// Every service-level objective the fleet should be judged against:
+    /// the fleet-wide defaults followed by each job's own rules, in
+    /// submission order. Feed this to `SloMonitor::install` (online) and
+    /// `replay_slos` (offline) so both sides see the same rule list.
+    pub fn slo_rules(&self) -> Vec<SloRule> {
+        let mut rules = cannikin_telemetry::default_fleet_slos();
+        for job in &self.jobs {
+            rules.extend(job.spec.slos.iter().cloned());
+        }
+        rules
     }
 
     /// Advance the fleet by one event: move the clock to the next epoch
@@ -642,6 +654,33 @@ impl FleetController {
             reassigned,
             pool: self.pool.live() as u32,
         }));
+        // Mission-control gauges and per-job allocation samples. Every
+        // value derives from deterministic fleet state (decision counter,
+        // simulated clock, node counts) — never wall time — so same-seed
+        // runs export identical series.
+        let live = self.pool.live();
+        let free_now = self.pool.free_ids().len();
+        telemetry::counter(
+            "fleet_pool_util",
+            if live > 0 { (live - free_now) as f64 / live as f64 } else { 0.0 },
+        );
+        telemetry::counter("fleet_queue_depth", queued as f64);
+        let useful: f64 =
+            self.jobs.iter().map(|j| j.final_effective * j.spec.config.dataset_size as f64).sum();
+        telemetry::counter("fleet_goodput", if self.clock > 0.0 { useful / self.clock } else { 0.0 });
+        let weighted: Vec<f64> =
+            self.jobs.iter().map(|j| j.service / j.spec.priority.weight()).collect();
+        telemetry::counter("fleet_fairness", jain_fairness(&weighted));
+        for d in &demands {
+            let job = &self.jobs[d.job];
+            telemetry::emit(Event::FleetJobSample(FleetJobSample {
+                decision: self.decisions,
+                job: job.spec.name.clone(),
+                granted: job.node_ids.len() as u32,
+                demanded: d.want as u32,
+                weighted_service: job.service / job.spec.priority.weight(),
+            }));
+        }
         let holds: Vec<String> = self
             .jobs
             .iter()

@@ -1,6 +1,7 @@
 //! Job submissions: what a tenant hands the fleet control plane.
 
 use cannikin_core::engine::{LinearNoiseGrowth, TrainerConfig};
+use cannikin_telemetry::SloRule;
 use hetsim::job::JobSpec;
 use hetsim::FaultPlan;
 
@@ -68,6 +69,10 @@ pub struct FleetJobSpec {
     /// Optional fault schedule, injected into the job's *first*
     /// allocation (a rebuilt post-eviction simulator runs fault-free).
     pub fault_plan: Option<FaultPlan>,
+    /// Per-job service-level objectives, evaluated by the SLO engine
+    /// alongside the fleet-wide defaults (see
+    /// [`crate::FleetController::slo_rules`]).
+    pub slos: Vec<SloRule>,
 }
 
 impl FleetJobSpec {
@@ -90,6 +95,7 @@ impl FleetJobSpec {
             max_nodes: usize::MAX,
             seed: 0,
             fault_plan: None,
+            slos: Vec::new(),
         }
     }
 
@@ -133,6 +139,20 @@ impl FleetJobSpec {
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Attach a service-level objective to the job.
+    pub fn slo(mut self, rule: SloRule) -> Self {
+        self.slos.push(rule);
+        self
+    }
+
+    /// Shorthand for the common per-job SLO: admission queue wait must
+    /// stay under `ceiling_s` seconds. Call after the name is final —
+    /// the rule captures it.
+    pub fn queue_slo(self, ceiling_s: f64) -> Self {
+        let rule = SloRule::JobQueueCeiling { job: self.name.clone(), ceiling_s };
+        self.slo(rule)
     }
 }
 

@@ -1,42 +1,87 @@
-//! `cannikin-insight` — replay a recorded JSONL telemetry trace.
+//! `cannikin-insight` — replay and report on recorded JSONL telemetry
+//! traces.
 //!
 //! ```text
 //! cannikin-insight <trace.jsonl> [--only-rank N]
+//! cannikin-insight report <trace.jsonl> [--html PATH] [--only-rank N]
 //! ```
 //!
-//! Loads the trace (as exported via `CANNIKIN_TELEMETRY=jsonl:/path` or
-//! `telemetry::export::write_jsonl`), reconstructs per-node and per-plan
-//! timelines, reruns the online detectors offline, and prints the
-//! calibration + anomaly report. Exits 0 when the trace is healthy, 1 on
-//! usage or parse errors, 2 when anomalies were found (so scripts can
-//! gate on run health).
+//! The first form loads a trace (as exported via
+//! `CANNIKIN_TELEMETRY=jsonl:/path` or `telemetry::export::write_jsonl`),
+//! reconstructs per-node and per-plan timelines, reruns the online
+//! detectors offline, and prints the calibration + anomaly report. Exits
+//! 0 when the trace is healthy, 1 on usage or parse errors, 2 when
+//! anomalies were found (so scripts can gate on run health).
+//!
+//! The `report` form renders the fleet mission-control report instead:
+//! per-job allocation timelines, SLO compliance against the default
+//! fleet objectives, and the anomaly list — as deterministic text on
+//! stdout plus, with `--html`, a self-contained single-file HTML page.
+//! Exits 0 on success, 1 on usage or parse errors, 2 when the offline
+//! SLO/anomaly reruns disagree with the online verdicts recorded in the
+//! trace (a determinism defect, not a mere violation).
 
-use cannikin_insight::{replay, InsightConfig};
+use cannikin_insight::{replay, report, InsightConfig};
 use cannikin_telemetry::export::parse_jsonl;
+use cannikin_telemetry::{default_fleet_slos, Record};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: cannikin-insight <trace.jsonl> [--only-rank N]\n       cannikin-insight report <trace.jsonl> [--html PATH] [--only-rank N]";
+
+fn load(path: &str, only_rank: Option<u32>) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut records = parse_jsonl(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    if let Some(rank) = only_rank {
+        records.retain(|r| r.rank == rank);
+    }
+    Ok(records)
+}
 
 fn run() -> Result<ExitCode, String> {
     let mut path = None;
-    let mut config = InsightConfig::default();
-    let mut args = std::env::args().skip(1);
+    let mut html = None;
+    let mut only_rank = None;
+    let mut report_mode = false;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("report") {
+        report_mode = true;
+        args.next();
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--only-rank" => {
                 let value = args.next().ok_or("--only-rank needs a value")?;
                 let rank = value.parse::<u32>().map_err(|e| format!("bad --only-rank `{value}`: {e}"))?;
-                config.only_rank = Some(rank);
+                only_rank = Some(rank);
+            }
+            "--html" if report_mode => {
+                html = Some(args.next().ok_or("--html needs a path")?);
             }
             "--help" | "-h" => {
-                println!("usage: cannikin-insight <trace.jsonl> [--only-rank N]");
+                println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
             }
             other if path.is_none() => path = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let path = path.ok_or("usage: cannikin-insight <trace.jsonl> [--only-rank N]")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let records = parse_jsonl(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    let path = path.ok_or(USAGE)?;
+
+    if report_mode {
+        // The rank filter is applied while loading (the report walks raw
+        // records); the detector config gets no extra filter.
+        let records = load(&path, only_rank)?;
+        let fleet = report::build(&records, InsightConfig::default(), &default_fleet_slos());
+        print!("{}", fleet.render_text());
+        if let Some(html_path) = html {
+            std::fs::write(&html_path, fleet.render_html())
+                .map_err(|e| format!("cannot write `{html_path}`: {e}"))?;
+        }
+        return Ok(if fleet.verdicts_match() { ExitCode::SUCCESS } else { ExitCode::from(2) });
+    }
+
+    let records = load(&path, None)?;
+    let config = InsightConfig { only_rank, ..InsightConfig::default() };
     let report = replay::analyze(&records, config);
     print!("{}", report.render());
     if report.offline.is_empty() && report.online.is_empty() {

@@ -41,7 +41,11 @@
 pub mod detectors;
 pub mod monitor;
 pub mod replay;
+pub mod report;
+pub mod slo;
 
 pub use detectors::{DetectorSet, InsightConfig};
 pub use monitor::{HealthReport, Monitor};
 pub use replay::{analyze, NodeTimeline, PlanSummary, ReplayReport};
+pub use report::{FleetTraceReport, JobTimeline};
+pub use slo::{replay_slos, SloEngine, SloMonitor, SloReport};

@@ -399,6 +399,42 @@ pub struct AnomalyDetected {
     pub severity: f64,
 }
 
+/// One fleet job's allocation sample, emitted once per controller
+/// decision round for every admitted-or-queued job. The `decision`
+/// counter (not wall time) is the x-axis of allocation timelines, so
+/// same-seed runs produce byte-identical series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetJobSample {
+    /// Decision round the sample belongs to ([`FleetDecision::decision`]).
+    pub decision: u64,
+    /// Job name.
+    pub job: String,
+    /// Nodes held by the job after the round.
+    pub granted: u32,
+    /// Nodes the job wanted this round (fair-share demand).
+    pub demanded: u32,
+    /// Cumulative node-seconds of service divided by the job's
+    /// fair-share weight — equal values mean a Jain-fair schedule.
+    pub weighted_service: f64,
+}
+
+/// A service-level objective was breached (emitted by the
+/// `cannikin-insight` SLO engine, online or during offline replay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloViolation {
+    /// Stable rule id (e.g. `goodput_floor`, `queue_p95_ceiling`).
+    pub rule: String,
+    /// Job the rule is scoped to (`None` for fleet-wide rules).
+    pub job: Option<String>,
+    /// The configured threshold.
+    pub threshold: f64,
+    /// The observed value that breached it.
+    pub observed: f64,
+    /// Ordinal of the triggering observation within the rule's input
+    /// stream (deterministic, unlike the record timestamp).
+    pub at: u64,
+}
+
 /// A generic named counter sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Counter {
@@ -445,6 +481,10 @@ pub enum Event {
     NodeGranted(NodeGranted),
     /// One fleet-allocator decision round.
     FleetDecision(FleetDecision),
+    /// One job's per-decision allocation sample.
+    FleetJobSample(FleetJobSample),
+    /// A service-level objective was breached.
+    SloViolation(SloViolation),
     /// A named counter sample.
     Counter(Counter),
     /// A span opening.
@@ -471,6 +511,8 @@ impl Event {
             Event::JobPreempted(_) => "job_preempted",
             Event::NodeGranted(_) => "node_granted",
             Event::FleetDecision(_) => "fleet_decision",
+            Event::FleetJobSample(_) => "fleet_job_sample",
+            Event::SloViolation(_) => "slo_violation",
             Event::Counter(_) => "counter",
             Event::SpanBegin(_) => "span_begin",
             Event::SpanEnd(_) => "span_end",
@@ -611,6 +653,20 @@ pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
             ("queued".into(), Json::Num(f64::from(e.queued))),
             ("reassigned".into(), Json::Num(f64::from(e.reassigned))),
             ("pool".into(), Json::Num(f64::from(e.pool))),
+        ],
+        Event::FleetJobSample(e) => vec![
+            ("decision".into(), Json::Num(e.decision as f64)),
+            ("job".into(), Json::Str(e.job.clone())),
+            ("granted".into(), Json::Num(f64::from(e.granted))),
+            ("demanded".into(), Json::Num(f64::from(e.demanded))),
+            ("weighted_service".into(), Json::num(e.weighted_service)),
+        ],
+        Event::SloViolation(e) => vec![
+            ("rule".into(), Json::Str(e.rule.clone())),
+            ("slo_job".into(), e.job.as_ref().map_or(Json::Null, |j| Json::Str(j.clone()))),
+            ("threshold".into(), Json::num(e.threshold)),
+            ("observed".into(), Json::num(e.observed)),
+            ("at".into(), Json::Num(e.at as f64)),
         ],
         Event::Counter(e) => vec![
             ("name".into(), Json::Str(e.name.clone())),
@@ -769,6 +825,26 @@ fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
             reassigned: req_u64(v, "reassigned")? as u32,
             pool: req_u64(v, "pool")? as u32,
         })),
+        "fleet_job_sample" => Ok(Event::FleetJobSample(FleetJobSample {
+            decision: req_u64(v, "decision")?,
+            job: req_str(v, "job")?,
+            granted: req_u64(v, "granted")? as u32,
+            demanded: req_u64(v, "demanded")? as u32,
+            weighted_service: req_f64(v, "weighted_service")?,
+        })),
+        "slo_violation" => {
+            let job = match v.get("slo_job") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_str().ok_or("mistyped `slo_job`")?.to_string()),
+            };
+            Ok(Event::SloViolation(SloViolation {
+                rule: req_str(v, "rule")?,
+                job,
+                threshold: req_f64(v, "threshold")?,
+                observed: req_f64(v, "observed")?,
+                at: req_u64(v, "at")?,
+            }))
+        }
         "counter" => Ok(Event::Counter(Counter { name: req_str(v, "name")?, value: req_f64(v, "value")? })),
         "span_begin" => Ok(Event::SpanBegin(Span { name: req_str(v, "name")? })),
         "span_end" => Ok(Event::SpanEnd(Span { name: req_str(v, "name")? })),
@@ -868,6 +944,27 @@ mod tests {
             }),
             Event::NodeGranted(NodeGranted { node: "a100-0".into(), job: "cifar-short".into() }),
             Event::FleetDecision(FleetDecision { decision: 9, running: 3, queued: 1, reassigned: 2, pool: 8 }),
+            Event::FleetJobSample(FleetJobSample {
+                decision: 9,
+                job: "cifar-short".into(),
+                granted: 3,
+                demanded: 5,
+                weighted_service: 87.5,
+            }),
+            Event::SloViolation(SloViolation {
+                rule: "goodput_floor".into(),
+                job: None,
+                threshold: 10.0,
+                observed: 6.25,
+                at: 41,
+            }),
+            Event::SloViolation(SloViolation {
+                rule: "job_queue_ceiling".into(),
+                job: Some("bert-squad".into()),
+                threshold: 120.0,
+                observed: 250.5,
+                at: 3,
+            }),
             Event::Counter(Counter { name: "epoch_time_s".into(), value: 12.5 }),
             Event::SpanBegin(Span { name: "epoch".into() }),
             Event::SpanEnd(Span { name: "epoch".into() }),
@@ -905,7 +1002,7 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds: std::collections::HashSet<&str> = one_of_each().iter().map(Event::kind).collect();
-        assert_eq!(kinds.len(), 16);
+        assert_eq!(kinds.len(), 18);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   `B`/`E` spans;
 //! - a fixed-bucket [`Histogram`] with quantile queries and merging, for
 //!   summarizing drained runs;
+//! - a ring-buffer time-[`series`] store (labelled counters/gauges/
+//!   histograms, windowed aggregates, quantiles, Prometheus-style text
+//!   exposition) fed by a [`SeriesRecorder`] subscriber, plus the
+//!   declarative [`slo`] rule specs that `cannikin-insight` evaluates;
 //! - two [`export`]ers: JSONL for offline analysis and Chrome
 //!   `trace_event` JSON (`pid` = node, `tid` = rank) loadable in
 //!   `chrome://tracing` / Perfetto;
@@ -44,15 +48,19 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod recorder;
+pub mod series;
+pub mod slo;
 pub mod trace;
 
 pub use env::{export_from_env, export_to, parse_targets, ExportTarget};
 pub use event::{
     AllReduceBucket, AnomalyDetected, AnomalyKind, Counter, Event, FaultInjected, FaultKind, FleetDecision,
-    GnsEstimated, GoodputEval, JobAdmitted, JobPreempted, NodeGranted, PreemptKind, Record, RecoveryAction,
-    RecoveryKind, SolverInvocation, Span, SplitDecision, SplitSource, StepTiming,
+    FleetJobSample, GnsEstimated, GoodputEval, JobAdmitted, JobPreempted, NodeGranted, PreemptKind, Record,
+    RecoveryAction, RecoveryKind, SloViolation, SolverInvocation, Span, SplitDecision, SplitSource, StepTiming,
 };
 pub use hist::{Histogram, LayoutMismatch};
+pub use series::{Labels, SeriesRecorder, SeriesStore, WindowStats};
+pub use slo::{default_fleet_slos, SloRule};
 pub use json::Json;
 pub use recorder::{
     counter, emit, enabled, flush_thread, inject, set_thread_identity, span, subscribe, IdentityGuard, Session,

@@ -18,12 +18,12 @@ use cannikin::core::engine::{CannikinTrainer, EpochRecord, LinearNoiseGrowth, No
 use cannikin::dnn::data::gaussian_blobs;
 use cannikin::dnn::lr::LrScaler;
 use cannikin::dnn::models::mlp_classifier;
-use cannikin::insight::{replay, InsightConfig, Monitor};
+use cannikin::insight::{replay, replay_slos, InsightConfig, Monitor, SloMonitor};
 use cannikin::sim::catalog::Gpu;
 use cannikin::sim::cluster::{ClusterSpec, NodeSpec};
 use cannikin::sim::job::JobSpec;
 use cannikin::sim::{FaultPlan, Simulator};
-use cannikin::telemetry::{self as telemetry, Json, Record};
+use cannikin::telemetry::{self as telemetry, default_fleet_slos, Json, Record};
 
 /// The telemetry recorder is process-global; every test that opens a
 /// session takes this lock so sessions never interleave.
@@ -85,6 +85,7 @@ struct SimRun {
 fn run_sim_schedule(name: &str, seed: u64) -> SimRun {
     let _serial = telemetry_lock();
     let monitor = Monitor::install(InsightConfig::default());
+    let slos = SloMonitor::install(default_fleet_slos());
     let session = telemetry::Session::start();
 
     let sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), seed).with_fault_plan(plan(name, seed));
@@ -106,6 +107,12 @@ fn run_sim_schedule(name: &str, seed: u64) -> SimRun {
         "schedule {name}: offline replay must reproduce the online verdicts"
     );
     assert_eq!(rerun.online, monitor.report().anomalies, "schedule {name}: trace carries the monitor's anomalies");
+    let slo_report = replay_slos(&stream, &default_fleet_slos());
+    assert!(
+        slo_report.verdicts_match(),
+        "schedule {name}: offline SLO rerun must reproduce the online verdicts"
+    );
+    assert_eq!(slo_report.online, slos.violations(), "schedule {name}: trace carries the SLO monitor's verdicts");
     SimRun { records, jsonl: normalize(&stream) }
 }
 

@@ -1,0 +1,244 @@
+//! Fleet mission control (ISSUE 8 acceptance): concurrent subscribers
+//! observe fleet runs without losing, duplicating or reordering events,
+//! and the SLO engine's online verdicts replay offline byte-for-byte —
+//! including over crash-recovery traces.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cannikin::core::engine::TrainerConfig;
+use cannikin::fleet::{AllocPolicy, FleetController, FleetJobSpec};
+use cannikin::insight::{replay_slos, InsightConfig, Monitor, SloMonitor};
+use cannikin::sim::catalog::Gpu;
+use cannikin::sim::cluster::NodeSpec;
+use cannikin::sim::job::JobSpec;
+use cannikin::sim::FaultPlan;
+use cannikin::telemetry::{
+    self as telemetry, Event, Labels, Record, SeriesRecorder, SloRule, Subscriber,
+};
+
+/// The telemetry recorder is process-global; every test that opens a
+/// session takes this lock so sessions never interleave.
+static TELEMETRY: Mutex<()> = Mutex::new(());
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    TELEMETRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A raw subscriber that keeps every record batch delivery, filtered to
+/// one rank so concurrent tests sharing the recorder stay invisible.
+struct Counting {
+    only_rank: u32,
+    seen: Mutex<Vec<Record>>,
+}
+
+impl Subscriber for Counting {
+    fn on_records(&self, batch: &[Record]) {
+        let mut seen = self.seen.lock().unwrap();
+        seen.extend(batch.iter().filter(|r| r.rank == self.only_rank).cloned());
+    }
+}
+
+fn pool4() -> Vec<NodeSpec> {
+    vec![
+        NodeSpec::new("a100-0", Gpu::A100),
+        NodeSpec::new("v100-0", Gpu::V100),
+        NodeSpec::new("v100-1", Gpu::V100),
+        NodeSpec::new("rtx-0", Gpu::Rtx6000),
+    ]
+}
+
+fn two_jobs() -> Vec<FleetJobSpec> {
+    vec![
+        FleetJobSpec::new("alpha", JobSpec::resnet18_cifar10(), TrainerConfig::new(6_400, 64, 512), 2.0)
+            .node_range(1, 3)
+            .noise(300.0, 1.0)
+            .seed(5),
+        FleetJobSpec::new("beta", JobSpec::neumf_movielens(), TrainerConfig::new(6_400, 64, 512), 1.5)
+            .arrival(10.0)
+            .noise(250.0, 1.2)
+            .seed(6),
+    ]
+}
+
+fn key(r: &Record) -> Option<String> {
+    match &r.event {
+        Event::FleetDecision(d) => Some(format!("decision:{}", d.decision)),
+        Event::NodeGranted(g) => Some(format!("grant:{}:{}", g.job, g.node)),
+        _ => None,
+    }
+}
+
+#[test]
+fn concurrent_subscribers_see_fleet_events_exactly_once_in_order() {
+    let _serial = telemetry_lock();
+    const RANK: u32 = 6161;
+
+    // Three observers at once: the raw counting subscriber, the series
+    // recorder and the anomaly monitor — plus the sink itself.
+    let counting = Arc::new(Counting { only_rank: RANK, seen: Mutex::new(Vec::new()) });
+    let _guard = telemetry::subscribe(counting.clone() as Arc<dyn Subscriber>);
+    let series = SeriesRecorder::install_with(1024, Some(RANK));
+    let monitor = Monitor::install(InsightConfig { only_rank: Some(RANK), ..InsightConfig::default() });
+
+    let session = telemetry::Session::start();
+    let records: Vec<Record> = {
+        let _id = telemetry::set_thread_identity(0, RANK);
+        FleetController::new(pool4(), two_jobs(), AllocPolicy::Cannikin)
+            .expect("valid fleet")
+            .run_to_completion(50_000)
+            .expect("stream drains");
+        telemetry::flush_thread();
+        session.drain().into_iter().filter(|r| r.rank == RANK).collect()
+    };
+    drop(session);
+
+    // The sink's FleetDecision/NodeGranted sequence is ground truth; the
+    // subscriber must have received exactly the same events in the same
+    // order — no loss, no duplication, no reorder.
+    let truth: Vec<String> = records.iter().filter_map(key).collect();
+    let observed: Vec<String> = counting.seen.lock().unwrap().iter().filter_map(key).collect();
+    assert!(!truth.is_empty(), "the run must produce decisions and grants");
+    assert_eq!(observed, truth, "subscriber delivery must match the sink exactly");
+
+    // Decisions are 1-based and consecutive — a dropped or doubled batch
+    // would break the arithmetic.
+    let decisions: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::FleetDecision(d) => Some(d.decision),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(decisions, (1..=decisions.len() as u64).collect::<Vec<_>>());
+
+    // The series store folded the same stream: its totals equal the
+    // sink's event counts.
+    let store = series.store();
+    let none = Labels::default();
+    assert_eq!(store.counter_total("fleet_decisions_total", &none), Some(decisions.len() as f64));
+    let grants = truth.iter().filter(|k| k.starts_with("grant:")).count();
+    let granted_total: f64 = ["alpha", "beta"]
+        .iter()
+        .filter_map(|j| store.counter_total("fleet_node_grants_total", &none.clone().with("job", *j)))
+        .sum();
+    assert_eq!(granted_total, grants as f64);
+
+    // The monitor saw every *emitted* record exactly once. Injected
+    // records (its own anomalies and their counter) reach the sink but
+    // never loop back through subscribers.
+    let injected = records
+        .iter()
+        .filter(|r| match &r.event {
+            Event::AnomalyDetected(_) | Event::SloViolation(_) => true,
+            Event::Counter(c) => c.name == "insight_anomalies",
+            _ => false,
+        })
+        .count();
+    assert_eq!(monitor.report().events_seen as usize, records.len() - injected);
+}
+
+#[test]
+fn per_thread_emission_order_survives_concurrent_flushes() {
+    let _serial = telemetry_lock();
+    // Two emitting threads with distinct ranks interleave arbitrarily;
+    // each thread's own sequence must still arrive in order at every
+    // subscriber and in the drained trace.
+    const RANKS: [u32; 2] = [7171, 7272];
+    let counters: Vec<Arc<Counting>> = RANKS
+        .iter()
+        .map(|&r| Arc::new(Counting { only_rank: r, seen: Mutex::new(Vec::new()) }))
+        .collect();
+    let _guards: Vec<_> =
+        counters.iter().map(|c| telemetry::subscribe(c.clone() as Arc<dyn Subscriber>)).collect();
+
+    let session = telemetry::Session::start();
+    let handles: Vec<_> = RANKS
+        .iter()
+        .map(|&rank| {
+            std::thread::spawn(move || {
+                let _id = telemetry::set_thread_identity(rank, rank);
+                for i in 1..=500u64 {
+                    telemetry::emit(Event::FleetDecision(cannikin::telemetry::FleetDecision {
+                        decision: i,
+                        running: 1,
+                        queued: 0,
+                        reassigned: 0,
+                        pool: 1,
+                    }));
+                }
+                telemetry::flush_thread();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let records = session.drain();
+    drop(session);
+
+    for (counting, &rank) in counters.iter().zip(&RANKS) {
+        let ordinal = |r: &Record| match &r.event {
+            Event::FleetDecision(d) => Some(d.decision),
+            _ => None,
+        };
+        let subscribed: Vec<u64> =
+            counting.seen.lock().unwrap().iter().filter_map(ordinal).collect();
+        let drained: Vec<u64> =
+            records.iter().filter(|r| r.rank == rank).filter_map(ordinal).collect();
+        let expect: Vec<u64> = (1..=500).collect();
+        assert_eq!(subscribed, expect, "rank {rank}: subscriber order");
+        assert_eq!(drained, expect, "rank {rank}: sink order");
+    }
+}
+
+#[test]
+fn slo_verdicts_replay_exactly_over_a_crash_trace() {
+    let _serial = telemetry_lock();
+    const RANK: u32 = 8181;
+
+    let jobs = vec![
+        FleetJobSpec::new("alpha", JobSpec::resnet18_cifar10(), TrainerConfig::new(6_400, 64, 512), 2.0)
+            .node_range(2, 3)
+            .noise(300.0, 1.0)
+            .seed(5)
+            .fault_plan(FaultPlan::new(5).crash_at(40, 0)),
+        // Beta arrives mid-alpha and demands more nodes than alpha
+        // leaves free, so it queues until alpha finishes — guaranteeing
+        // its (nanosecond) queue ceiling fires.
+        FleetJobSpec::new("beta", JobSpec::neumf_movielens(), TrainerConfig::new(6_400, 64, 512), 1.5)
+            .arrival(0.5)
+            .node_range(3, 3)
+            .noise(250.0, 1.2)
+            .seed(6)
+            .queue_slo(1e-9),
+    ];
+    let mut controller =
+        FleetController::new(pool4(), jobs, AllocPolicy::Cannikin).expect("valid fleet");
+    // Tighten the defaults with the per-job rules and a zero-step
+    // recovery ceiling so the crash path actually produces violations.
+    let mut rules = controller.slo_rules();
+    rules.push(SloRule::RecoveryCeiling { max_steps: 0 });
+
+    let monitor = SloMonitor::install_with(rules.clone(), Some(RANK));
+    let session = telemetry::Session::start();
+    let records: Vec<Record> = {
+        let _id = telemetry::set_thread_identity(0, RANK);
+        controller.run_to_completion(50_000).expect("stream drains past the crash");
+        telemetry::flush_thread();
+        session.drain().into_iter().filter(|r| r.rank == RANK).collect()
+    };
+    drop(session);
+
+    assert!(
+        records.iter().any(|r| matches!(r.event, Event::FaultInjected(_))),
+        "the crash must surface in the trace"
+    );
+    let report = replay_slos(&records, &rules);
+    assert!(report.verdicts_match(), "offline rerun must reproduce the online verdicts");
+    assert_eq!(report.online, monitor.violations(), "trace carries the monitor's verdicts");
+    assert!(
+        report.count_for("job_queue_ceiling", Some("beta")) >= 1,
+        "the nanosecond queue ceiling must fire on admission: {:?}",
+        report.offline
+    );
+}
