@@ -138,6 +138,16 @@ impl AdaptdlTrainer {
     }
 }
 
+impl cannikin_core::engine::TrainingSubject for AdaptdlTrainer {
+    fn next_epoch(&mut self) -> Result<EpochRecord, cannikin_core::error::CannikinError> {
+        Ok(self.run_epoch())
+    }
+
+    fn progress(&self) -> f64 {
+        self.effective_epochs
+    }
+}
+
 impl std::fmt::Debug for AdaptdlTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "AdaptdlTrainer(epoch {}, eff {:.2})", self.epoch, self.effective_epochs)

@@ -114,6 +114,16 @@ impl DdpTrainer {
     }
 }
 
+impl cannikin_core::engine::TrainingSubject for DdpTrainer {
+    fn next_epoch(&mut self) -> Result<EpochRecord, cannikin_core::error::CannikinError> {
+        Ok(self.run_epoch())
+    }
+
+    fn progress(&self) -> f64 {
+        self.effective_epochs
+    }
+}
+
 impl std::fmt::Debug for DdpTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "DdpTrainer(B={}, epoch {})", self.total_batch, self.epoch)

@@ -168,6 +168,16 @@ impl HetPipeTrainer {
     }
 }
 
+impl cannikin_core::engine::TrainingSubject for HetPipeTrainer {
+    fn next_epoch(&mut self) -> Result<EpochRecord, cannikin_core::error::CannikinError> {
+        Ok(self.run_epoch())
+    }
+
+    fn progress(&self) -> f64 {
+        self.effective_epochs
+    }
+}
+
 impl std::fmt::Debug for HetPipeTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "HetPipeTrainer(B={}, {} microbatches)", self.total_batch, self.microbatches)

@@ -183,6 +183,16 @@ impl LbBspTrainer {
     }
 }
 
+impl cannikin_core::engine::TrainingSubject for LbBspTrainer {
+    fn next_epoch(&mut self) -> Result<EpochRecord, cannikin_core::error::CannikinError> {
+        Ok(self.run_epoch())
+    }
+
+    fn progress(&self) -> f64 {
+        self.effective_epochs
+    }
+}
+
 impl std::fmt::Debug for LbBspTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "LbBspTrainer(B={}, split {:?})", self.total_batch, self.local)

@@ -16,6 +16,11 @@
 //! - [`HetPipeTrainer`] — HetPipe: pipelined model parallelism with
 //!   speed-proportional stage partitioning; excellent utilization but a
 //!   pipeline-fill bubble and a fixed batch size.
+//!
+//! Every baseline also implements
+//! [`TrainingSubject`](cannikin_core::engine::TrainingSubject), so the
+//! scenario-matrix harness can drive any of them — and Cannikin itself —
+//! through one uniform epoch loop.
 
 mod adaptdl;
 mod ddp;

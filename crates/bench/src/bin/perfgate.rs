@@ -15,8 +15,7 @@
 //! no comparison happens (how the committed baseline is produced).
 
 use cannikin_bench::experiments::{perf_report, PerfReport};
-use cannikin_bench::gate::{render_all, GateCheck};
-use cannikin_telemetry::Json;
+use cannikin_bench::gate::{load_baseline_json, render_all, GateCheck};
 use std::process::ExitCode;
 
 struct Args {
@@ -59,15 +58,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn load_baseline(path: &str) -> Result<PerfReport, String> {
-    // A missing or stale baseline is the most common first-run failure:
-    // spell out where the file was expected and how to regenerate it.
-    let regen = format!(
-        "expected a committed perf baseline at `{path}`; regenerate with\n  \
-         cargo run --release -p cannikin-bench --bin perfgate -- --write-baseline {path}"
-    );
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read baseline {path}: {e}\n{regen}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}\n{regen}"))?;
+    let regen = format!("cargo run --release -p cannikin-bench --bin perfgate -- --write-baseline {path}");
+    let json = load_baseline_json(path, &regen)?;
     PerfReport::from_json(&json).map_err(|e| format!("{path}: {e}\n{regen}"))
 }
 

@@ -1,0 +1,164 @@
+//! Regression gate over the `BENCH_scenarios.json` scenario matrix.
+//!
+//! Re-runs the capability-tagged matrix under the pinned seed and fails
+//! if the fresh report regressed against the committed baseline:
+//!
+//! - every `adaptive_vs_static` goodput ratio must stay at or above
+//!   `max(1.0, baseline·(1−tol))` — Cannikin losing to a static subject
+//!   on any fault/churn scenario fails outright, whatever the baseline;
+//! - every baseline cell must still exist (a vanished cell means the
+//!   registry silently shrank);
+//! - per surviving cell, `goodput_eff_epochs_per_hour` floors and
+//!   `comm_bytes` ceilings at the tolerance.
+//!
+//! Every number is simulated time, frame bytes or event counts — no wall
+//! clock — so the default tolerance is tight: the gate flags behavior
+//! changes, not machine noise.
+//!
+//! ```text
+//! scenariogate [--baseline PATH] [--out PATH] [--max-regression FRAC] [--write-baseline PATH]
+//! ```
+//!
+//! With `--write-baseline` the fresh report is written to that path and
+//! no comparison happens (how the committed baseline is produced).
+
+use cannikin_bench::gate::{compare_metric_maps, load_baseline_json, render_all, Bound, GateCheck};
+use cannikin_bench::scenarios::{scenario_report, ScenarioBenchReport};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: Option<String>,
+    out: Option<String>,
+    max_regression: f64,
+    write_baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { baseline: None, out: None, max_regression: 0.02, write_baseline: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--max-regression" => {
+                let raw = value("--max-regression")?;
+                let frac: f64 =
+                    raw.parse().map_err(|_| format!("--max-regression: `{raw}` is not a number"))?;
+                if !(0.0..1.0).contains(&frac) {
+                    return Err(format!("--max-regression must be in [0, 1), got {frac}"));
+                }
+                args.max_regression = frac;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.baseline.is_none() && args.write_baseline.is_none() {
+        return Err("need --baseline PATH (gate mode) or --write-baseline PATH".into());
+    }
+    Ok(args)
+}
+
+fn load_baseline(path: &str) -> Result<ScenarioBenchReport, String> {
+    let regen = format!("cargo run --release -p cannikin-bench --bin scenariogate -- --write-baseline {path}");
+    let json = load_baseline_json(path, &regen)?;
+    ScenarioBenchReport::from_json(&json).map_err(|e| format!("{path}: {e}\n{regen}"))
+}
+
+fn gates(fresh: &ScenarioBenchReport, base: &ScenarioBenchReport, tol: f64) -> Vec<GateCheck> {
+    let mut checks = Vec::new();
+    // Headline claim first: adaptive beats static on every fault/churn
+    // scenario, floored at 1.0 no matter how generous the baseline was.
+    for (scenario, &baseline) in &base.ratios {
+        match fresh.ratios.get(scenario) {
+            Some(&current) => checks.push(GateCheck::floor(
+                format!("{scenario}.adaptive_vs_static"),
+                current,
+                baseline,
+                (baseline * (1.0 - tol)).max(1.0),
+                tol,
+            )),
+            None => checks.push(GateCheck::floor(
+                format!("{scenario}.adaptive_vs_static"),
+                f64::NAN, // ratio vanished: fails either bound
+                baseline,
+                (baseline * (1.0 - tol)).max(1.0),
+                tol,
+            )),
+        }
+    }
+    for cell in &base.cells {
+        let label = format!("{}/{}", cell.scenario, cell.subject);
+        let Some(current) = fresh.cell(&cell.scenario, &cell.subject) else {
+            checks.push(GateCheck::floor(format!("{label}.present"), f64::NAN, 1.0, 1.0, 0.0));
+            continue;
+        };
+        let pick = |metrics: &BTreeMap<String, f64>, name: &str| -> BTreeMap<String, f64> {
+            metrics.get(name).map(|&v| BTreeMap::from([(name.to_string(), v)])).unwrap_or_default()
+        };
+        checks.extend(compare_metric_maps(
+            &format!("{label}."),
+            &pick(&current.metrics, "goodput_eff_epochs_per_hour"),
+            &pick(&cell.metrics, "goodput_eff_epochs_per_hour"),
+            Bound::Floor,
+            tol,
+        ));
+        checks.extend(compare_metric_maps(
+            &format!("{label}."),
+            &pick(&current.metrics, "comm_bytes"),
+            &pick(&cell.metrics, "comm_bytes"),
+            Bound::Ceiling,
+            tol,
+        ));
+    }
+    checks
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scenariogate: {e}");
+            eprintln!(
+                "usage: scenariogate [--baseline PATH] [--out PATH] [--max-regression FRAC] [--write-baseline PATH]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!("scenariogate: running the compatible scenario matrix (pinned seed)...");
+    let fresh = scenario_report();
+    let rendered = fresh.to_json().to_string_compact();
+
+    for path in args.write_baseline.iter().chain(args.out.iter()) {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("scenariogate: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("scenariogate: wrote {path}");
+    }
+    if args.write_baseline.is_some() {
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match load_baseline(args.baseline.as_deref().expect("checked in parse_args")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("scenariogate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let checks = gates(&fresh, &base, args.max_regression);
+    let (rendered_checks, all_pass) = render_all(&checks);
+    print!("{rendered_checks}");
+    if all_pass {
+        println!("scenariogate: all cells within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scenariogate: scenario matrix regressed against the committed baseline");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,81 @@
+//! Run the capability-tagged scenario matrix and print (or write) the
+//! structured report.
+//!
+//! ```text
+//! scenarios [--out PATH] [--list]
+//! ```
+//!
+//! Default: runs every compatible cell under the pinned seed, prints the
+//! rendered table, and — with `--out` — writes the structured JSON that
+//! `scenariogate` diffs against `BENCH_scenarios.json`. `--list` prints
+//! the registry (scenarios, subjects, capability tags, compatible cell
+//! count) without running anything.
+
+use cannikin_bench::scenarios::{matrix, registry, scenario_report, subjects, Capability};
+use std::process::ExitCode;
+
+struct Args {
+    out: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { out: None, list: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = Some(it.next().ok_or("--out needs a value")?),
+            "--list" => args.list = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn tags(caps: &[Capability]) -> String {
+    caps.iter().map(|c| c.label()).collect::<Vec<_>>().join(",")
+}
+
+fn print_registry() {
+    println!("scenarios (requires):");
+    for s in registry() {
+        println!("  {:<20} [{}]  {}", s.name, tags(&s.requires), s.description);
+    }
+    println!("\nsubjects (provides):");
+    for s in subjects() {
+        println!("  {:<20} [{}]  {}", s.name, tags(&s.provides), s.description);
+    }
+    let cells = matrix();
+    println!("\ncompatible matrix: {} cells", cells.len());
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            eprintln!("usage: scenarios [--out PATH] [--list]");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        print_registry();
+        return ExitCode::SUCCESS;
+    }
+
+    let cells = matrix();
+    eprintln!("scenarios: running {} compatible cells (pinned seed)...", cells.len());
+    let report = scenario_report();
+    print!("{}", cannikin_bench::experiments::render_scenarios(&report));
+
+    if let Some(path) = args.out {
+        let rendered = report.to_json().to_string_compact();
+        if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
+            eprintln!("scenarios: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("scenarios: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@ mod figures;
 mod fleet;
 mod insight;
 mod perf;
+mod scenarios;
 mod slo;
 mod tables;
 mod telemetry;
@@ -23,6 +24,7 @@ pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
 pub use fleet::{fleet, fleet_pool, fleet_report, FleetBenchReport, PolicyOutcome, TraceOutcome, FLEET_SEEDS};
 pub use insight::insight_run;
 pub use perf::{perf, perf_report, PerfReport, PERF_SEED};
+pub use scenarios::{render_scenarios, scenarios};
 pub use slo::slo;
 pub use tables::{table1, table6, table_prediction};
 pub use telemetry::{summarize, telemetry_summary};
@@ -54,6 +56,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("slo", slo()),
         ("transport", transport()),
         ("perf", perf()),
+        ("scenarios", scenarios()),
     ]
 }
 
@@ -83,6 +86,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "slo" => Some(slo()),
         "transport" => Some(transport()),
         "perf" => Some(perf()),
+        "scenarios" => Some(scenarios()),
         _ => None,
     }
 }
@@ -113,5 +117,6 @@ pub fn ids() -> Vec<&'static str> {
         "slo",
         "transport",
         "perf",
+        "scenarios",
     ]
 }

@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod gate;
 pub mod runners;
+pub mod scenarios;
 
 /// Render a row of a fixed-width text table.
 pub fn row(cells: &[String], widths: &[usize]) -> String {

@@ -16,11 +16,13 @@
 mod builders;
 pub mod loader;
 pub mod parallel;
+mod subject;
 mod trainer;
 
 pub use builders::{CannikinTrainerBuilder, ParallelTrainerBuilder};
 pub use loader::HeteroDataLoader;
 pub use parallel::{ParallelConfig, ParallelEpochReport, ParallelTrainer};
+pub use subject::TrainingSubject;
 pub use trainer::{CannikinTrainer, TrainerConfig};
 
 use crate::optperf::Bottleneck;

@@ -63,6 +63,6 @@ pub use series::{Labels, SeriesRecorder, SeriesStore, WindowStats};
 pub use slo::{default_fleet_slos, SloRule};
 pub use json::Json;
 pub use recorder::{
-    counter, emit, enabled, flush_thread, inject, set_thread_identity, span, subscribe, IdentityGuard, Session,
-    SpanGuard, Subscriber, SubscriberGuard,
+    counter, emit, enabled, flush_thread, inject, session_tag, set_thread_identity, span, subscribe, IdentityGuard,
+    Session, SpanGuard, Subscriber, SubscriberGuard,
 };

@@ -46,6 +46,12 @@ static GENERATION: AtomicU64 = AtomicU64::new(0);
 /// Serializes sessions: at most one live [`Session`] per process.
 static SESSION_LOCK: Mutex<()> = Mutex::new(());
 
+/// Label of the live session (`None` while untagged or between sessions).
+/// Set by [`Session::start_tagged`]; the scenario-matrix harness tags each
+/// benchmark cell `scenario/subject` so exported streams and drained
+/// records can be attributed to the exact matrix cell that produced them.
+static SESSION_TAG: Mutex<Option<String>> = Mutex::new(None);
+
 struct Shared {
     start: Instant,
     sink: Mutex<Vec<Record>>,
@@ -298,10 +304,28 @@ impl Session {
     /// (orphaning any stale thread-local buffers), and enables emission.
     pub fn start() -> Session {
         let guard = SESSION_LOCK.lock();
+        *SESSION_TAG.lock() = None;
         shared().sink.lock().clear();
         GENERATION.fetch_add(1, Ordering::Release);
         ENABLED.store(true, Ordering::Release);
         Session { _guard: guard }
+    }
+
+    /// Begin a *tagged* recording session: like [`Session::start`], but
+    /// the session carries a label readable via [`Session::tag`] /
+    /// [`session_tag`] until the session drops. The scenario-matrix
+    /// harness tags each cell `scenario/subject`, so anything observing
+    /// the stream (exporters, subscribers, tests) can attribute records
+    /// to the matrix cell that produced them.
+    pub fn start_tagged(tag: impl Into<String>) -> Session {
+        let session = Session::start();
+        *SESSION_TAG.lock() = Some(tag.into());
+        session
+    }
+
+    /// This session's tag, if it was started with [`Session::start_tagged`].
+    pub fn tag(&self) -> Option<String> {
+        SESSION_TAG.lock().clone()
     }
 
     /// Take everything recorded so far, ordered by timestamp (stable, so
@@ -323,7 +347,18 @@ impl Drop for Session {
         // so the next session starts clean regardless.
         flush_thread();
         shared().sink.lock().clear();
+        *SESSION_TAG.lock() = None;
     }
+}
+
+/// The live session's tag, or `None` when no session is live or the
+/// session was started untagged. Cheap enough for exporters but not for
+/// the per-event hot path (it takes a lock).
+pub fn session_tag() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    SESSION_TAG.lock().clone()
 }
 
 #[cfg(test)]
@@ -370,6 +405,27 @@ mod tests {
             })
             .collect();
         assert!(values.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tagged_session_exposes_tag_until_drop() {
+        let _serial = TEST_LOCK.lock();
+        assert_eq!(session_tag(), None, "no session: no tag");
+        let session = Session::start_tagged("spot-preemption/cannikin");
+        assert_eq!(session.tag().as_deref(), Some("spot-preemption/cannikin"));
+        assert_eq!(session_tag().as_deref(), Some("spot-preemption/cannikin"));
+        drop(session);
+        assert_eq!(session_tag(), None, "tag cleared with the session");
+    }
+
+    #[test]
+    fn untagged_start_clears_stale_tag() {
+        let _serial = TEST_LOCK.lock();
+        drop(Session::start_tagged("old"));
+        let session = Session::start();
+        assert_eq!(session.tag(), None);
+        assert_eq!(session_tag(), None);
+        drop(session);
     }
 
     #[test]

@@ -33,4 +33,8 @@ echo "==> fleetgate vs committed BENCH_fleet.json (2% ratio tolerance)"
 cargo run --release -p cannikin-bench --bin fleetgate -- \
     --baseline BENCH_fleet.json --out target/BENCH_fleet.json
 
+echo "==> scenariogate vs committed BENCH_scenarios.json (2% tolerance)"
+cargo run --release -p cannikin-bench --bin scenariogate -- \
+    --baseline BENCH_scenarios.json --out target/BENCH_scenarios.json
+
 echo "tier-1: OK"

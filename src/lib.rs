@@ -93,7 +93,7 @@ pub mod prelude {
     };
     pub use cannikin_core::engine::{
         CannikinTrainer, CannikinTrainerBuilder, EpochRecord, LinearNoiseGrowth, NoiseModel, ParallelConfig,
-        ParallelEpochReport, ParallelTrainer, ParallelTrainerBuilder, TrainerConfig,
+        ParallelEpochReport, ParallelTrainer, ParallelTrainerBuilder, TrainerConfig, TrainingSubject,
     };
     pub use cannikin_core::optperf::{OptPerfSolver, SolverInput};
     pub use cannikin_core::{CannikinError, RuntimeOptions};
