@@ -1,9 +1,9 @@
 //! AdaptDL/Pollux baseline.
 
 use cannikin_core::engine::{EpochRecord, NoiseModel};
-use cannikin_core::gns::{goodput, statistical_efficiency};
-use cannikin_core::optperf::{even_split, predict_batch_time};
+use cannikin_core::gns::statistical_efficiency;
 use cannikin_core::perf::{Analyzer, MeasurementAggregation};
+use cannikin_core::policy::{EpochObservation, EvenSplit, Policy, PolicyContext};
 use hetsim::Simulator;
 
 use std::time::Instant;
@@ -12,14 +12,16 @@ use std::time::Instant;
 ///
 /// AdaptDL adapts the total batch size by maximizing goodput — exactly
 /// like Cannikin — but assumes a homogeneous cluster, so every rank
-/// receives `B/n` samples. Its per-candidate throughput prediction is the
-/// even split's batch time under the learned models. In a homogeneous
-/// cluster this *is* Cannikin (§6); in a heterogeneous one every batch
-/// still waits for the straggler.
+/// receives `B/n` samples. The planning rule lives in
+/// [`cannikin_core::policy::EvenSplit`]; this baseline wires it to a
+/// [`Simulator`] and its own NaiveMean model fitter through the same
+/// ask/tell protocol the Cannikin engines use, so the comparison differs
+/// only in the policy, not the plumbing.
 pub struct AdaptdlTrainer {
     sim: Simulator,
     noise: Box<dyn NoiseModel>,
     analyzer: Analyzer,
+    policy: EvenSplit,
     dataset_size: usize,
     base_batch: u64,
     max_batch: u64,
@@ -39,6 +41,7 @@ impl AdaptdlTrainer {
         assert!(base_batch >= n as u64, "base batch must cover every node");
         AdaptdlTrainer {
             analyzer: Analyzer::new(n, MeasurementAggregation::NaiveMean),
+            policy: EvenSplit::new(),
             sim,
             noise,
             dataset_size,
@@ -50,61 +53,40 @@ impl AdaptdlTrainer {
         }
     }
 
-    /// AdaptDL's candidate totals: the same geometric grid Cannikin uses,
-    /// for a fair comparison.
-    fn candidates(&self) -> Vec<u64> {
-        let n = self.sim.cluster().len() as u64;
-        let lo = (self.base_batch.max(n)) as f64;
-        let hi = self.max_batch as f64;
-        let count = ((hi / lo).log10() * 12.0).ceil().clamp(2.0, 40.0) as usize;
-        let mut out: Vec<u64> = (0..=count).map(|i| (lo * (hi / lo).powf(i as f64 / count as f64)).round() as u64).collect();
-        out.dedup();
-        out
-    }
-
     /// Run one epoch.
     pub fn run_epoch(&mut self) -> EpochRecord {
         let n = self.sim.cluster().len();
         let phi = self.noise.noise_scale(self.effective_epochs);
         let started = Instant::now();
-        let total = match self.analyzer.solver_input() {
-            Ok(input) => {
-                // Goodput over candidates, throughput predicted for the
-                // homogeneous (even) split.
-                self.candidates()
-                    .into_iter()
-                    .max_by(|&a, &b| {
-                        let ga = goodput(phi, self.base_batch, a, predict_batch_time(&input, &even_split(a, n)));
-                        let gb = goodput(phi, self.base_batch, b, predict_batch_time(&input, &even_split(b, n)));
-                        ga.total_cmp(&gb)
-                    })
-                    .unwrap_or(self.base_batch)
-            }
-            Err(_) => {
-                // AdaptDL also needs two batch sizes to fit its throughput
-                // model; it perturbs the batch upward once.
-                if self.epoch == 0 {
-                    self.base_batch
-                } else {
-                    (self.base_batch as f64 * 1.5).round() as u64
-                }
-            }
+        let ctx = PolicyContext {
+            epoch: self.epoch,
+            nodes: n,
+            adaptive: true,
+            base_batch: self.base_batch,
+            max_batch: self.max_batch,
+            dataset_size: self.dataset_size,
+            phi: Some(phi),
+            last_split: Vec::new(),
+            solver_input: self.analyzer.solver_input().ok(),
+            per_sample_times: Vec::new(),
         };
+        let plan = self.policy.ask(&ctx).expect("even-split planning is infallible");
         let overhead_seconds = started.elapsed().as_secs_f64();
+        let (total, local) = (plan.total, plan.local);
 
-        let local = even_split(total, n);
         let steps = (self.dataset_size / total as usize).max(1);
         let trace = self.sim.simulate_epoch(&local, steps);
         for batch in &trace.batches {
             self.analyzer.observe_batch(batch);
         }
         let efficiency = statistical_efficiency(phi, self.base_batch, total);
-        self.effective_epochs += steps as f64 * total as f64 * efficiency / self.dataset_size as f64;
+        let gained = steps as f64 * total as f64 * efficiency / self.dataset_size as f64;
+        self.effective_epochs += gained;
         self.cumulative_time += trace.epoch_time + overhead_seconds;
         let record = EpochRecord {
             epoch: self.epoch,
             total_batch: total,
-            local_batches: local,
+            local_batches: local.clone(),
             steps,
             accumulation: 1,
             epoch_time: trace.epoch_time,
@@ -115,10 +97,21 @@ impl AdaptdlTrainer {
             cumulative_time: self.cumulative_time,
             overhead_seconds,
             pattern: None,
-            used_model: self.epoch >= 2,
+            used_model: plan.used_model,
             faults: 0,
             recoveries: 0,
         };
+        self.policy.tell(&EpochObservation {
+            epoch: self.epoch,
+            total,
+            local,
+            epoch_time: trace.epoch_time,
+            mean_batch_time: record.mean_batch_time,
+            efficiency,
+            goodput: gained / trace.epoch_time,
+            phi: Some(phi),
+            per_sample_times: Vec::new(),
+        });
         self.epoch += 1;
         record
     }

@@ -2,29 +2,26 @@
 
 use cannikin_core::engine::{EpochRecord, NoiseModel};
 use cannikin_core::gns::statistical_efficiency;
-use cannikin_core::optperf::even_split;
+use cannikin_core::policy::{EpochObservation, LbBspIterative, Policy, PolicyContext, LBBSP_DEFAULT_STEP};
 use hetsim::Simulator;
 
 /// LB-BSP iteratively rebalances local batch sizes toward equal *compute*
 /// times, moving each node at most Δ samples per adjustment round (§5.1;
 /// Δ = 5 as in the paper's experiments).
 ///
-/// Two structural gaps versus Cannikin, both visible in the figures:
-///
-/// 1. convergence to the balanced point takes many rounds (Fig. 9: more
-///    than ten epochs from an even start, versus Cannikin's three);
-/// 2. the balance target ignores communication/computation overlap, so in
-///    communication-bound regimes the equal-compute split is not the
-///    optimal split (Fig. 10's gap at small batch sizes).
+/// The tuning rule itself lives in
+/// [`cannikin_core::policy::LbBspIterative`]; this baseline wires it to a
+/// [`Simulator`] through the same ask/tell protocol the Cannikin engines
+/// use, so the comparison differs only in the policy, not the plumbing.
+/// The structural gaps versus Cannikin (slow convergence from an even
+/// start, overlap-blind balance target) are documented on the policy.
 pub struct LbBspTrainer {
     sim: Simulator,
     noise: Box<dyn NoiseModel>,
     dataset_size: usize,
     total_batch: u64,
     base_batch: u64,
-    step: u64,
-    local: Vec<u64>,
-    last_per_sample: Vec<f64>,
+    policy: LbBspIterative,
     epoch: usize,
     effective_epochs: f64,
     cumulative_time: f64,
@@ -40,31 +37,27 @@ impl LbBspTrainer {
     pub fn new(sim: Simulator, noise: Box<dyn NoiseModel>, dataset_size: usize, total_batch: u64, base_batch: u64) -> Self {
         let n = sim.cluster().len();
         assert!(total_batch >= n as u64, "total batch must cover every node");
-        let local = even_split(total_batch, n);
         LbBspTrainer {
             sim,
             noise,
             dataset_size,
             total_batch,
             base_batch,
-            step: 5,
-            local,
-            last_per_sample: Vec::new(),
+            policy: LbBspIterative::new(LBBSP_DEFAULT_STEP),
             epoch: 0,
             effective_epochs: 0.0,
             cumulative_time: 0.0,
         }
     }
 
-    /// Override the adjustment step Δ (builder style).
+    /// Override the adjustment step Δ (builder style, before training).
     ///
     /// # Panics
     ///
     /// Panics if `step == 0`.
     #[must_use]
     pub fn with_step(mut self, step: u64) -> Self {
-        assert!(step > 0, "adjustment step must be positive");
-        self.step = step;
+        self.policy = LbBspIterative::new(step);
         self
     }
 
@@ -76,44 +69,52 @@ impl LbBspTrainer {
     ///
     /// Panics if the new total cannot cover every node.
     pub fn set_total_batch(&mut self, total: u64) {
-        let n = self.local.len();
-        assert!(total >= n as u64, "total batch must cover every node");
-        let old_total: u64 = self.local.iter().sum();
-        let mut scaled: Vec<u64> = self.local.iter().map(|&b| ((b as f64 / old_total as f64) * total as f64).floor() as u64).collect();
-        for b in scaled.iter_mut() {
-            *b = (*b).max(1);
-        }
-        fix_sum(&mut scaled, total);
-        self.local = scaled;
+        assert!(total >= self.sim.cluster().len() as u64, "total batch must cover every node");
+        self.policy.set_total(total);
         self.total_batch = total;
     }
 
     /// The current local split (test/inspection).
     pub fn local_batches(&self) -> &[u64] {
-        &self.local
+        self.policy.local_batches()
     }
 
     /// Run one epoch, then apply one Δ-bounded adjustment round.
     pub fn run_epoch(&mut self) -> EpochRecord {
         let phi = self.noise.noise_scale(self.effective_epochs);
         let steps = (self.dataset_size / self.total_batch as usize).max(1);
-        let trace = self.sim.simulate_epoch(&self.local, steps);
+        let ctx = PolicyContext {
+            epoch: self.epoch,
+            nodes: self.sim.cluster().len(),
+            adaptive: false,
+            base_batch: self.total_batch,
+            max_batch: self.total_batch,
+            dataset_size: self.dataset_size,
+            phi: Some(phi),
+            last_split: self.policy.local_batches().to_vec(),
+            solver_input: None,
+            per_sample_times: Vec::new(),
+        };
+        let plan = self.policy.ask(&ctx).expect("LB-BSP planning is infallible");
+        let local = plan.local;
+        let trace = self.sim.simulate_epoch(&local, steps);
 
         // Observe per-sample compute times from the epoch's last batch.
         let last = trace.batches.last().expect("epoch has batches");
-        self.last_per_sample = last
+        let per_sample: Vec<f64> = last
             .observations
             .iter()
             .map(|o| (o.a_time + o.p_time) / o.local_batch.max(1) as f64)
             .collect();
 
         let efficiency = statistical_efficiency(phi, self.base_batch, self.total_batch);
-        self.effective_epochs += steps as f64 * self.total_batch as f64 * efficiency / self.dataset_size as f64;
+        let gained = steps as f64 * self.total_batch as f64 * efficiency / self.dataset_size as f64;
+        self.effective_epochs += gained;
         self.cumulative_time += trace.epoch_time;
         let record = EpochRecord {
             epoch: self.epoch,
             total_batch: self.total_batch,
-            local_batches: self.local.clone(),
+            local_batches: local.clone(),
             steps,
             accumulation: 1,
             epoch_time: trace.epoch_time,
@@ -128,44 +129,19 @@ impl LbBspTrainer {
             faults: 0,
             recoveries: 0,
         };
+        self.policy.tell(&EpochObservation {
+            epoch: self.epoch,
+            total: self.total_batch,
+            local,
+            epoch_time: trace.epoch_time,
+            mean_batch_time: record.mean_batch_time,
+            efficiency,
+            goodput: gained / trace.epoch_time,
+            phi: Some(phi),
+            per_sample_times: per_sample,
+        });
         self.epoch += 1;
-        self.adjust();
         record
-    }
-
-    /// One LB-BSP adjustment round: move every node toward the
-    /// equal-compute-time split, at most Δ samples each.
-    fn adjust(&mut self) {
-        if self.last_per_sample.is_empty() {
-            return;
-        }
-        let inv_sum: f64 = self.last_per_sample.iter().map(|t| 1.0 / t).sum();
-        let target: Vec<f64> = self
-            .last_per_sample
-            .iter()
-            .map(|t| (1.0 / t) / inv_sum * self.total_batch as f64)
-            .collect();
-        // Zero-sum one-sample transfers from over-loaded to under-loaded
-        // nodes, each node moving at most Δ samples per round — this keeps
-        // the sum invariant without ever exceeding the step bound.
-        let mut budget = vec![self.step; self.local.len()];
-        loop {
-            let giver = (0..self.local.len())
-                .filter(|&i| budget[i] > 0 && self.local[i] > 1 && self.local[i] as f64 > target[i] + 0.5)
-                .max_by(|&a, &b| (self.local[a] as f64 - target[a]).total_cmp(&(self.local[b] as f64 - target[b])));
-            let taker = (0..self.local.len())
-                .filter(|&i| budget[i] > 0 && (self.local[i] as f64) < target[i] - 0.5)
-                .max_by(|&a, &b| (target[a] - self.local[a] as f64).total_cmp(&(target[b] - self.local[b] as f64)));
-            match (giver, taker) {
-                (Some(g), Some(t)) if g != t => {
-                    self.local[g] -= 1;
-                    self.local[t] += 1;
-                    budget[g] -= 1;
-                    budget[t] -= 1;
-                }
-                _ => break,
-            }
-        }
     }
 
     /// Run until `target` effective epochs or `max_epochs`.
@@ -195,23 +171,7 @@ impl cannikin_core::engine::TrainingSubject for LbBspTrainer {
 
 impl std::fmt::Debug for LbBspTrainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LbBspTrainer(B={}, split {:?})", self.total_batch, self.local)
-    }
-}
-
-/// Repair a split so it sums to `total`, adjusting one sample at a time at
-/// the largest (or smallest-above-1) entries.
-fn fix_sum(split: &mut [u64], total: u64) {
-    let mut sum: u64 = split.iter().sum();
-    while sum < total {
-        let i = (0..split.len()).max_by_key(|&i| split[i]).expect("non-empty");
-        split[i] += 1;
-        sum += 1;
-    }
-    while sum > total {
-        let i = (0..split.len()).filter(|&i| split[i] > 1).max_by_key(|&i| split[i]).expect("reducible entry");
-        split[i] -= 1;
-        sum -= 1;
+        write!(f, "LbBspTrainer(B={}, split {:?})", self.total_batch, self.policy.local_batches())
     }
 }
 
@@ -289,17 +249,5 @@ mod tests {
             let expected = balanced[i] as f64 * 1.5;
             assert!((b as f64 - expected).abs() <= 2.0, "node {i}: {b} vs {expected}");
         }
-    }
-
-    #[test]
-    fn fix_sum_repairs() {
-        let mut s = vec![5, 5, 5];
-        fix_sum(&mut s, 17);
-        assert_eq!(s.iter().sum::<u64>(), 17);
-        fix_sum(&mut s, 12);
-        assert_eq!(s.iter().sum::<u64>(), 12);
-        let mut tiny = vec![1, 1, 5];
-        fix_sum(&mut tiny, 3);
-        assert_eq!(tiny, vec![1, 1, 1]);
     }
 }

@@ -11,6 +11,7 @@ mod figures;
 mod fleet;
 mod insight;
 mod perf;
+mod policy;
 mod scenarios;
 mod slo;
 mod tables;
@@ -24,6 +25,7 @@ pub use figures::{fig10, fig5, fig6, fig7, fig8, fig9};
 pub use fleet::{fleet, fleet_pool, fleet_report, FleetBenchReport, PolicyOutcome, TraceOutcome, FLEET_SEEDS};
 pub use insight::insight_run;
 pub use perf::{perf, perf_report, PerfReport, PERF_SEED};
+pub use policy::{policy, POLICY_SCENARIOS, POLICY_SUBJECTS};
 pub use scenarios::{render_scenarios, scenarios};
 pub use slo::slo;
 pub use tables::{table1, table6, table_prediction};
@@ -57,6 +59,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("transport", transport()),
         ("perf", perf()),
         ("scenarios", scenarios()),
+        ("policy", policy()),
     ]
 }
 
@@ -87,6 +90,7 @@ pub fn by_id(id: &str) -> Option<String> {
         "transport" => Some(transport()),
         "perf" => Some(perf()),
         "scenarios" => Some(scenarios()),
+        "policy" => Some(policy()),
         _ => None,
     }
 }
@@ -118,5 +122,6 @@ pub fn ids() -> Vec<&'static str> {
         "transport",
         "perf",
         "scenarios",
+        "policy",
     ]
 }

@@ -1,6 +1,6 @@
 //! Scenario-matrix evaluation harness (kurobako-style).
 //!
-//! The registry ([`registry`]) declares *scenarios* — named cluster
+//! The registry ([`registry()`]) declares *scenarios* — named cluster
 //! conditions seeded from the sim's [`hetsim::FaultPlan`] and the
 //! collectives' [`cannikin_collectives::CommFaultPlan`] machinery — and
 //! *subjects* — the trainers under evaluation (Cannikin itself, the §5.1

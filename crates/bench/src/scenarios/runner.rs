@@ -15,6 +15,7 @@ use cannikin_baselines::{AdaptdlTrainer, DdpTrainer, HetPipeTrainer, LbBspTraine
 use cannikin_core::engine::{
     CannikinTrainer, EpochRecord, NoiseModel, ParallelTrainer, TrainerConfig, TrainingSubject,
 };
+use cannikin_core::policy::PolicyKind;
 use cannikin_collectives::TransportKind;
 use cannikin_telemetry::{Json, Record, Session};
 use cannikin_workloads::profiles;
@@ -89,6 +90,20 @@ fn build_sim_subject(system: SimSystem, scenario: &ScenarioSpec) -> Box<dyn Trai
                 .simulator(sim)
                 .noise_boxed(noise)
                 .config(config)
+                .build()
+                .expect("valid scenario config");
+            Box::new(trainer)
+        }
+        SimSystem::Policy(kind) => {
+            let mut config = TrainerConfig::new(SIM_DATASET, SIM_BASE_BATCH, SIM_MAX_BATCH);
+            // LB-BSP never moves the total, so declare the cell honestly
+            // as a fixed-batch run; the other policies adapt.
+            config.adaptive_batch = kind != PolicyKind::LbBsp;
+            let trainer = CannikinTrainer::builder()
+                .simulator(sim)
+                .noise_boxed(noise)
+                .config(config)
+                .policy(kind)
                 .build()
                 .expect("valid scenario config");
             Box::new(trainer)
@@ -367,6 +382,39 @@ mod tests {
         assert!(cell.metrics["recoveries"] >= 2.0, "evict + replan + join all count");
         assert!(cell.metrics["goodput_eff_epochs_per_hour"] > 0.0);
         assert!(cell.metrics.contains_key("time_to_target_s"));
+    }
+
+    fn cell(scenario_name: &str, subject_name: &str) -> CellResult {
+        let scenario = registry().into_iter().find(|s| s.name == scenario_name).expect("registered");
+        let subject = subjects().into_iter().find(|s| s.name == subject_name).expect("registered");
+        run_cell(&scenario, &subject)
+    }
+
+    #[test]
+    fn optperf_policy_subject_matches_the_inline_cannikin_subject() {
+        // The policy-as-subject lens must be a pure re-labeling of the
+        // paper's system: `policy-optperf` builds the same trainer as
+        // `cannikin`, so every metric of every shared cell is identical.
+        for scenario in ["calm-baseline", "straggler-onset"] {
+            let inline = cell(scenario, "cannikin");
+            let via_policy = cell(scenario, "policy-optperf");
+            assert_eq!(inline.metrics, via_policy.metrics, "{scenario}: optperf-via-trait diverged");
+        }
+    }
+
+    #[test]
+    fn rl_policy_beats_even_split_under_faults() {
+        // Acceptance floor for the bandit: on a heterogeneous cluster
+        // under fault pressure, learning the batch while splitting with
+        // the solver must out-goodput the homogeneous even split.
+        for scenario in ["straggler-onset", "diurnal-contention"] {
+            let rl = cell(scenario, "policy-rl").metrics["goodput_eff_epochs_per_hour"];
+            let even = cell(scenario, "policy-even").metrics["goodput_eff_epochs_per_hour"];
+            assert!(
+                rl >= even,
+                "{scenario}: policy-rl goodput {rl} should be >= policy-even {even}"
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! via [`RuntimeOptions::from_env`]; otherwise the in-process backend is
 //! used. The gradient codec follows the same ladder through
 //! [`codec`](ParallelTrainerBuilder::codec) and `CANNIKIN_CODEC`, ending
-//! at the lossless raw-`f32` default.
+//! at the lossless raw-`f32` default. The adaptation policy follows it
+//! too: [`policy`](CannikinTrainerBuilder::policy) (or
+//! [`policy_boxed`](CannikinTrainerBuilder::policy_boxed) for a custom
+//! [`Policy`] implementation) > `CANNIKIN_POLICY` >
+//! [`PolicyKind::OptPerf`].
 //!
 //! ```
 //! use cannikin_core::engine::{CannikinTrainer, LinearNoiseGrowth};
@@ -45,6 +49,7 @@ use super::NoiseModel;
 use crate::error::CannikinError;
 use crate::optperf::SolverInput;
 use crate::perf::MeasurementAggregation;
+use crate::policy::{self, Policy, PolicyKind};
 use crate::runtime::RuntimeOptions;
 
 use cannikin_collectives::{Codec, CommFaultPlan, RetryPolicy, TransportKind};
@@ -76,6 +81,16 @@ fn codec_from_env(builder: Option<Codec>) -> Result<Option<Codec>, CannikinError
     }
 }
 
+/// Resolve the effective adaptation policy kind: builder choice >
+/// `CANNIKIN_POLICY`. Returns `None` when neither is set (the builders
+/// then construct the [`PolicyKind::OptPerf`] default).
+fn policy_from_env(builder: Option<PolicyKind>) -> Result<Option<PolicyKind>, CannikinError> {
+    match builder {
+        Some(kind) => Ok(Some(kind)),
+        None => RuntimeOptions::policy_from_env(),
+    }
+}
+
 /// Builder for the simulator-driven [`CannikinTrainer`].
 ///
 /// Required: [`simulator`](Self::simulator). Everything else defaults to
@@ -95,6 +110,8 @@ pub struct CannikinTrainerBuilder {
     monitor: Option<Monitor>,
     warm_start: Option<SolverInput>,
     transport: Option<TransportKind>,
+    policy_kind: Option<PolicyKind>,
+    policy: Option<Box<dyn Policy>>,
 }
 
 impl CannikinTrainerBuilder {
@@ -203,13 +220,29 @@ impl CannikinTrainerBuilder {
         self
     }
 
+    /// Which built-in adaptation policy plans each epoch (default: builder
+    /// > `CANNIKIN_POLICY` > [`PolicyKind::OptPerf`]).
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy_kind = Some(kind);
+        self
+    }
+
+    /// A custom [`Policy`] implementation; overrides
+    /// [`policy`](Self::policy) and `CANNIKIN_POLICY`.
+    #[must_use]
+    pub fn policy_boxed(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     /// Build the trainer.
     ///
     /// # Errors
     ///
     /// [`CannikinError::InvalidConfig`] when the simulator is missing, the
-    /// batch range cannot cover the cluster, or `CANNIKIN_TRANSPORT` holds
-    /// an unparseable value.
+    /// batch range cannot cover the cluster, or `CANNIKIN_TRANSPORT` /
+    /// `CANNIKIN_POLICY` holds an unparseable value.
     pub fn build(self) -> Result<CannikinTrainer, CannikinError> {
         let sim = self
             .sim
@@ -246,7 +279,14 @@ impl CannikinTrainerBuilder {
         let noise: Box<dyn NoiseModel> =
             self.noise.unwrap_or_else(|| Box::new(super::LinearNoiseGrowth { initial: 300.0, rate: 1.0 }));
         let transport = transport_from_env(self.transport)?;
-        let mut trainer = CannikinTrainer::from_parts(sim, noise, config, transport);
+        let policy: Box<dyn Policy> = match self.policy {
+            Some(p) => p,
+            None => {
+                let kind = policy_from_env(self.policy_kind)?.unwrap_or_default();
+                policy::build_sim_policy(kind, config.base_batch, sim.cluster().len(), config.max_batch)
+            }
+        };
+        let mut trainer = CannikinTrainer::from_parts(sim, noise, config, transport, policy);
         if let Some(checkpoint) = &self.warm_start {
             trainer.warm_start(checkpoint);
         }
@@ -290,6 +330,8 @@ pub struct ParallelTrainerBuilder {
     codec: Option<Codec>,
     overlap: Option<bool>,
     monitor: Option<Monitor>,
+    policy_kind: Option<PolicyKind>,
+    policy: Option<Box<dyn Policy>>,
 }
 
 impl ParallelTrainerBuilder {
@@ -426,13 +468,30 @@ impl ParallelTrainerBuilder {
         self
     }
 
+    /// Which built-in adaptation policy plans each epoch (default: builder
+    /// > `CANNIKIN_POLICY` > [`PolicyKind::OptPerf`]).
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy_kind = Some(kind);
+        self
+    }
+
+    /// A custom [`Policy`] implementation; overrides
+    /// [`policy`](Self::policy) and `CANNIKIN_POLICY`.
+    #[must_use]
+    pub fn policy_boxed(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     /// Build the trainer.
     ///
     /// # Errors
     ///
     /// [`CannikinError::InvalidConfig`] when the dataset or model factory
     /// is missing, the node set is empty, the batch range cannot cover it,
-    /// or `CANNIKIN_TRANSPORT` holds an unparseable value.
+    /// or `CANNIKIN_TRANSPORT` / `CANNIKIN_POLICY` holds an unparseable
+    /// value.
     pub fn build(self) -> Result<ParallelTrainer, CannikinError> {
         let dataset = self
             .dataset
@@ -493,7 +552,14 @@ impl ParallelTrainerBuilder {
                 config.max_batch, config.base_batch
             )));
         }
-        let mut trainer = ParallelTrainer::from_parts(dataset, factory, config);
+        let policy: Box<dyn Policy> = match self.policy {
+            Some(p) => p,
+            None => {
+                let kind = policy_from_env(self.policy_kind)?.unwrap_or_default();
+                policy::build_measured_policy(kind)
+            }
+        };
+        let mut trainer = ParallelTrainer::from_parts(dataset, factory, config, policy);
         if let Some(monitor) = self.monitor {
             trainer.attach_monitor(monitor);
         }

@@ -29,16 +29,16 @@
 use super::loader::HeteroDataLoader;
 use crate::error::CannikinError;
 use crate::gns::{estimate_gns, Aggregation, GnsEstimate, GnsTracker, GradientSample};
-use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
+use crate::policy::{EpochObservation, Policy, PolicyContext};
 
 use cannikin_collectives::{
     Codec, CommError, CommFaultPlan, CommGroup, Communicator, ErrorFeedback, RetryPolicy, TransportKind,
 };
 use cannikin_insight::{HealthReport, Monitor};
 use cannikin_telemetry::{
-    self as telemetry, AllReduceBucket, AnomalyKind, Event, RecoveryAction, RecoveryKind, SplitDecision,
-    SplitSource, StepTiming,
+    self as telemetry, AllReduceBucket, AnomalyKind, Event, PolicyDecision, RecoveryAction, RecoveryKind,
+    SplitDecision, StepTiming,
 };
 use hetsim::trace::{BatchTrace, NodeObservation};
 use rand::rngs::StdRng;
@@ -158,6 +158,7 @@ pub struct ParallelTrainer {
     epoch: usize,
     last_split: Vec<u64>,
     model_factory: Arc<dyn Fn(u64) -> Sequential + Send + Sync>,
+    policy: Box<dyn Policy>,
     monitor: Option<Monitor>,
     /// Per-rank error-feedback residuals, persisted across epochs so the
     /// compensation accumulates over the whole run (only populated while a
@@ -166,23 +167,6 @@ pub struct ParallelTrainer {
 }
 
 impl ParallelTrainer {
-    /// Create a trainer. `model_factory(seed)` must build identical
-    /// architectures for identical seeds (replicas are initialized from
-    /// rank 0's weights regardless).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the config has no nodes or `base_batch` is smaller than
-    /// the node count.
-    #[deprecated(note = "use ParallelTrainer::builder() instead")]
-    pub fn new(
-        dataset: ClassificationDataset,
-        model_factory: impl Fn(u64) -> Sequential + Send + Sync + 'static,
-        config: ParallelConfig,
-    ) -> Self {
-        Self::from_parts(dataset, Arc::new(model_factory), config)
-    }
-
     /// A fresh [`ParallelTrainerBuilder`](super::ParallelTrainerBuilder) —
     /// the supported construction path.
     pub fn builder() -> super::ParallelTrainerBuilder {
@@ -193,6 +177,7 @@ impl ParallelTrainer {
         dataset: ClassificationDataset,
         model_factory: Arc<dyn Fn(u64) -> Sequential + Send + Sync>,
         config: ParallelConfig,
+        policy: Box<dyn Policy>,
     ) -> Self {
         let n = config.slowdowns.len();
         assert!(n > 0, "need at least one node");
@@ -210,6 +195,7 @@ impl ParallelTrainer {
             weights,
             config,
             model_factory,
+            policy,
             monitor: None,
             feedback: Vec::new(),
         }
@@ -271,6 +257,7 @@ impl ParallelTrainer {
         if self.feedback.len() == n {
             self.feedback.remove(rank);
         }
+        self.policy.on_membership_change(self.config.slowdowns.len());
         telemetry::emit(Event::RecoveryAction(RecoveryAction {
             kind: RecoveryKind::GroupShrink,
             node: Some(rank as u32),
@@ -302,6 +289,7 @@ impl ParallelTrainer {
             self.feedback.push(ErrorFeedback::new(self.weights.len()));
         }
         self.last_split.clear();
+        self.policy.on_membership_change(self.config.slowdowns.len());
         telemetry::emit(Event::RecoveryAction(RecoveryAction {
             kind: RecoveryKind::GroupGrow,
             node: Some((self.config.slowdowns.len() - 1) as u32),
@@ -323,41 +311,31 @@ impl ParallelTrainer {
         let n = self.config.slowdowns.len();
         let phi = self.tracker.noise_scale();
 
-        // ---- Plan the split (Fig. 4 control loop). ----
+        // ---- Plan the split (Fig. 4 control loop) via the policy. ----
         let plan_span = telemetry::span("plan");
-        let mut used_model = false;
-        let mut predicted_t = None;
-        let mut source = SplitSource::Bootstrap;
-        let (total, local) = if let Ok(input) = self.analyzer.solver_input() {
-            let mut solver = OptPerfSolver::new(input);
-            let total = if self.config.adaptive {
-                self.pick_total(&mut solver, phi)
-            } else {
-                self.config.base_batch
-            };
-            match solver.solve(total) {
-                Ok(plan) => {
-                    used_model = true;
-                    source = SplitSource::Solver;
-                    predicted_t = Some(plan.opt_perf);
-                    (total, plan.local_batches)
-                }
-                Err(_) => {
-                    source = SplitSource::EvenInit;
-                    (self.config.base_batch, even_split(self.config.base_batch, n))
-                }
-            }
-        } else if self.epoch == 0 || self.last_split.is_empty() {
-            source = SplitSource::EvenInit;
-            (self.config.base_batch, even_split(self.config.base_batch, n))
-        } else {
-            let t: Vec<f64> = (0..n).map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0)).collect();
-            let split = bootstrap_split(&t, self.config.base_batch);
-            (self.config.base_batch, ensure_distinct_split(&self.last_split, split))
+        let ctx = PolicyContext {
+            epoch: self.epoch,
+            nodes: n,
+            adaptive: self.config.adaptive,
+            base_batch: self.config.base_batch,
+            max_batch: self.config.max_batch,
+            dataset_size: self.dataset.len(),
+            phi,
+            last_split: self.last_split.clone(),
+            solver_input: self.analyzer.solver_input().ok(),
+            per_sample_times: (0..n).map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0)).collect(),
         };
+        let epoch_plan = self.policy.ask(&ctx)?;
+        let (total, local) = (epoch_plan.total, epoch_plan.local);
+        let (used_model, predicted_t, source) = (epoch_plan.used_model, epoch_plan.predicted_t, epoch_plan.source);
         drop(plan_span);
         if telemetry::enabled() {
             telemetry::emit(Event::SplitDecision(SplitDecision { total, local: local.clone(), predicted_t, source }));
+            telemetry::emit(Event::PolicyDecision(PolicyDecision {
+                policy: self.policy.name().to_string(),
+                epoch: self.epoch as u64,
+                total,
+            }));
         }
 
         // ---- Train the epoch across threads. ----
@@ -498,6 +476,38 @@ impl ParallelTrainer {
         }
         self.apply_health(n);
 
+        // ---- Feed the realized outcome back to the policy. ----
+        // Reward is the measured goodput of this epoch: statistical
+        // efficiency at the fresh φ estimate times raw throughput (plain
+        // samples/s while no estimate exists yet).
+        let mean_batch_time = epoch_time / steps as f64;
+        let fresh_phi = self.tracker.noise_scale();
+        let (efficiency, realized_goodput) = match fresh_phi {
+            Some(phi) => (
+                crate::gns::statistical_efficiency(phi, self.config.base_batch, total),
+                crate::gns::goodput(phi, self.config.base_batch, total, mean_batch_time),
+            ),
+            None => (1.0, total as f64 / mean_batch_time),
+        };
+        self.policy.tell(&EpochObservation {
+            epoch: self.epoch,
+            total,
+            local: local.clone(),
+            epoch_time,
+            mean_batch_time,
+            efficiency,
+            goodput: realized_goodput,
+            phi: fresh_phi,
+            per_sample_times: rank_outputs
+                .iter()
+                .map(|r| {
+                    r.step_measurements
+                        .last()
+                        .map_or(1.0, |m| (m.a_time + m.p_time) / m.batch_size.max(1) as f64)
+                })
+                .collect(),
+        });
+
         // ---- Evaluate and roll state forward. ----
         let comm_retries = rank_outputs[0].comm_retries;
         let rank0 = rank_outputs.swap_remove(0);
@@ -552,27 +562,6 @@ impl ParallelTrainer {
         }
     }
 
-    /// Goodput-style total-batch pick over a tiny candidate grid (the
-    /// functional datasets are small, so the full cache machinery of
-    /// [`crate::goodput::GoodputEngine`] is unnecessary here).
-    fn pick_total(&self, solver: &mut OptPerfSolver, phi: Option<f64>) -> u64 {
-        let Some(phi) = phi else {
-            return self.config.base_batch;
-        };
-        let n = self.config.slowdowns.len() as u64;
-        let mut best = (self.config.base_batch, f64::MIN);
-        let mut b = self.config.base_batch.max(n);
-        while b <= self.config.max_batch && (b as usize) <= self.dataset.len() {
-            if let Ok(plan) = solver.solve(b) {
-                let g = crate::gns::goodput(phi, self.config.base_batch, b, plan.opt_perf);
-                if g > best.1 {
-                    best = (b, g);
-                }
-            }
-            b *= 2;
-        }
-        best.0
-    }
 }
 
 impl std::fmt::Debug for ParallelTrainer {

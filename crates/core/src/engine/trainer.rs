@@ -3,14 +3,15 @@
 use super::{EpochRecord, NoiseModel};
 use crate::error::CannikinError;
 use crate::gns::statistical_efficiency;
-use crate::goodput::GoodputEngine;
-use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
+use crate::optperf::{bootstrap_split, even_split, OptPerfSolver};
 use crate::perf::{Analyzer, MeasurementAggregation};
+use crate::policy::{EpochObservation, Policy, PolicyContext};
 
 use cannikin_collectives::{CommError, CommGroup, TransportKind};
 use cannikin_insight::{HealthReport, Monitor};
 use cannikin_telemetry::{
-    self as telemetry, AnomalyKind, Event, FaultKind, RecoveryAction, RecoveryKind, SplitDecision, SplitSource,
+    self as telemetry, AnomalyKind, Event, FaultKind, PolicyDecision, RecoveryAction, RecoveryKind, SplitDecision,
+    SplitSource,
 };
 use hetsim::Simulator;
 use std::time::Instant;
@@ -56,30 +57,19 @@ impl TrainerConfig {
 pub struct CannikinTrainer {
     sim: Simulator,
     analyzer: Analyzer,
-    goodput: GoodputEngine,
+    policy: Box<dyn Policy>,
     noise: Box<dyn NoiseModel>,
     config: TrainerConfig,
     epoch: usize,
     effective_epochs: f64,
     cumulative_time: f64,
     last_local: Vec<u64>,
-    warm_started: bool,
     monitor: Option<Monitor>,
     transport: Option<TransportKind>,
     comm_bytes: u64,
 }
 
 impl CannikinTrainer {
-    /// Create a trainer around a simulator and a noise-evolution model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the batch range cannot accommodate one sample per node.
-    #[deprecated(note = "use CannikinTrainer::builder() instead")]
-    pub fn new(sim: Simulator, noise: Box<dyn NoiseModel>, config: TrainerConfig) -> Self {
-        Self::from_parts(sim, noise, config, None)
-    }
-
     /// A fresh [`CannikinTrainerBuilder`](super::CannikinTrainerBuilder) —
     /// the supported construction path.
     pub fn builder() -> super::CannikinTrainerBuilder {
@@ -91,23 +81,22 @@ impl CannikinTrainer {
         noise: Box<dyn NoiseModel>,
         config: TrainerConfig,
         transport: Option<TransportKind>,
+        policy: Box<dyn Policy>,
     ) -> Self {
         let n = sim.cluster().len();
         assert!(config.base_batch >= n as u64, "base batch must cover every node");
         let caps: Vec<Option<u64>> = (0..n).map(|i| Some(sim.max_local_batch(i))).collect();
         let analyzer = Analyzer::new(n, config.aggregation).with_max_batches(caps);
-        let goodput = GoodputEngine::new(config.base_batch, config.base_batch.max(n as u64), config.max_batch);
         CannikinTrainer {
             sim,
             analyzer,
-            goodput,
+            policy,
             noise,
             config,
             epoch: 0,
             effective_epochs: 0.0,
             cumulative_time: 0.0,
             last_local: Vec::new(),
-            warm_started: false,
             monitor: None,
             transport,
             comm_bytes: 0,
@@ -141,7 +130,7 @@ impl CannikinTrainer {
     /// OptPerf split.
     pub fn warm_start(&mut self, checkpoint: &crate::optperf::SolverInput) {
         self.analyzer.preload_models(checkpoint);
-        self.warm_started = true;
+        self.policy.on_warm_start();
     }
 
     /// The underlying simulator (e.g. to inject contention mid-run).
@@ -159,11 +148,7 @@ impl CannikinTrainer {
         let n = self.sim.cluster().len();
         let caps: Vec<Option<u64>> = (0..n).map(|i| Some(self.sim.max_local_batch(i))).collect();
         self.analyzer = Analyzer::new(n, self.config.aggregation).with_max_batches(caps);
-        self.goodput = GoodputEngine::new(
-            self.config.base_batch,
-            self.config.base_batch.max(n as u64),
-            self.config.max_batch,
-        );
+        self.policy.on_membership_change(n);
         // Re-profile at (roughly) the previous total batch rather than
         // dropping back to B₀: the statistical operating point is a
         // property of the *job*, not of the cluster, and reverting to tiny
@@ -226,62 +211,35 @@ impl CannikinTrainer {
 
         let plan_span = telemetry::span("plan");
         let started = Instant::now();
-        let mut used_model = false;
-        let mut pattern = None;
-        let mut accumulation = 1u64;
-        let mut predicted_t = None;
-        let mut source = SplitSource::Bootstrap;
-        let (total, local) = if let Ok(input) = self.analyzer.solver_input() {
-            // Model-based path.
-            let mut solver = OptPerfSolver::new(input);
-            source = if self.warm_started { SplitSource::WarmStart } else { SplitSource::Solver };
-            self.warm_started = false;
-            if self.config.adaptive_batch {
-                let sel = self.goodput.select(&mut solver, phi)?;
-                used_model = true;
-                pattern = Some(sel.plan.pattern.clone());
-                accumulation = sel.accumulation;
-                predicted_t = Some(sel.plan.opt_perf);
-                (sel.total, sel.plan.local_batches)
-            } else {
-                let plan = solver.solve(self.config.base_batch)?;
-                used_model = true;
-                pattern = Some(plan.pattern.clone());
-                predicted_t = Some(plan.opt_perf);
-                (self.config.base_batch, plan.local_batches)
-            }
-        } else if self.epoch == 0 || self.last_local.is_empty() {
-            // Epoch 0: even split at B₀.
-            source = SplitSource::EvenInit;
-            (self.config.base_batch, even_split(self.config.base_batch, n))
-        } else {
-            // No usable model (epoch 1, or the learned model went stale
-            // after a resource change): Eq. (8) bootstrap from observed
-            // per-sample times. At epoch 1 the total batch follows the
-            // underlying AdaptDL engine's profiling heuristic (one upward
-            // perturbation, 1.5×B₀); later stale-model epochs keep the
-            // previous total so throughput is not sacrificed to
-            // re-profiling. When the bootstrap degenerates to the previous
-            // split (fixed costs dominating tiny batches), force an
-            // exploration split — the bootstrap's stated purpose, §4.2, is
-            // exactly to produce distinct local batch sizes.
-            let total = if self.epoch == 1 && self.config.adaptive_batch {
-                ((self.config.base_batch as f64 * 1.5).round() as u64).min(self.config.max_batch)
-            } else if self.epoch >= 2 {
-                self.last_local.iter().sum::<u64>()
-            } else {
-                self.config.base_batch
-            };
-            let t_samples: Vec<f64> = (0..n)
-                .map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0))
-                .collect();
-            let split = bootstrap_split(&t_samples, total);
-            (total, ensure_distinct_split(&self.last_local, split))
+        // The context is a pure snapshot of the trainer's state: assembling
+        // it performs no solver work and emits no telemetry, so routing the
+        // plan through the policy reproduces the former inline logic
+        // bit for bit (tests/policy.rs goldens).
+        let ctx = PolicyContext {
+            epoch: self.epoch,
+            nodes: n,
+            adaptive: self.config.adaptive_batch,
+            base_batch: self.config.base_batch,
+            max_batch: self.config.max_batch,
+            dataset_size: self.config.dataset_size,
+            phi: Some(phi),
+            last_split: self.last_local.clone(),
+            solver_input: self.analyzer.solver_input().ok(),
+            per_sample_times: (0..n).map(|i| self.analyzer.per_sample_time(i).unwrap_or(1.0)).collect(),
         };
+        let plan = self.policy.ask(&ctx)?;
+        let (total, local) = (plan.total, plan.local);
+        let (used_model, pattern, accumulation, predicted_t, source) =
+            (plan.used_model, plan.pattern, plan.accumulation, plan.predicted_t, plan.source);
         let plan_seconds = started.elapsed().as_secs_f64();
         drop(plan_span);
         if telemetry::enabled() {
             telemetry::emit(Event::SplitDecision(SplitDecision { total, local: local.clone(), predicted_t, source }));
+            telemetry::emit(Event::PolicyDecision(PolicyDecision {
+                policy: self.policy.name().to_string(),
+                epoch: self.epoch as u64,
+                total,
+            }));
         }
 
         let steps = (self.config.dataset_size / total as usize).max(1);
@@ -289,12 +247,20 @@ impl CannikinTrainer {
         // real optimizer work and counts toward the Table 6 overhead, even
         // though it happens interleaved with the simulated batches.
         let mut fit_seconds = 0.0;
+        // Per-sample times of the epoch's last observed batch, fed back to
+        // the policy through `tell` (the LB-BSP rebalance signal).
+        let mut tell_per_sample: Vec<f64> = Vec::new();
         let mut observe = |analyzer: &mut Analyzer, batch: &hetsim::trace::BatchTrace, step: usize| {
             if telemetry::enabled() {
                 for obs in &batch.observations {
                     telemetry::emit(obs.step_timing(step as u64));
                 }
             }
+            tell_per_sample = batch
+                .observations
+                .iter()
+                .map(|o| (o.a_time + o.p_time) / o.local_batch.max(1) as f64)
+                .collect();
             let fit_started = Instant::now();
             analyzer.observe_batch(batch);
             fit_seconds += fit_started.elapsed().as_secs_f64();
@@ -457,6 +423,20 @@ impl CannikinTrainer {
         let effective = steps as f64 * total as f64 * efficiency / self.config.dataset_size as f64;
         self.effective_epochs += effective;
         self.cumulative_time += epoch_time + overhead_seconds;
+        // Close the ask/tell round. The goodput reward is effective epochs
+        // gained per *simulated* second — excluding wall-clock optimizer
+        // overhead keeps learning policies deterministic under seed.
+        self.policy.tell(&EpochObservation {
+            epoch: self.epoch,
+            total,
+            local: local.clone(),
+            epoch_time,
+            mean_batch_time,
+            efficiency,
+            goodput: effective / epoch_time,
+            phi: Some(phi),
+            per_sample_times: tell_per_sample,
+        });
         let record = EpochRecord {
             epoch: self.epoch,
             total_batch: total,
@@ -526,11 +506,7 @@ impl CannikinTrainer {
     /// statistical state belongs to the *job*, not the cluster.
     fn replan_split(&mut self, total: u64) -> Vec<u64> {
         let n = self.sim.cluster().len();
-        self.goodput = GoodputEngine::new(
-            self.config.base_batch,
-            self.config.base_batch.max(n as u64),
-            self.config.max_batch,
-        );
+        self.policy.on_membership_change(n);
         let cap_sum: u64 = (0..n).map(|i| self.sim.max_local_batch(i)).sum();
         let total = total.clamp(n as u64, cap_sum.max(n as u64));
         if let Ok(input) = self.analyzer.solver_input() {

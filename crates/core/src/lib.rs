@@ -52,6 +52,7 @@ pub mod linalg;
 pub mod optperf;
 pub mod perf;
 pub mod planner;
+pub mod policy;
 pub mod runtime;
 
 pub use error::CannikinError;

@@ -1,0 +1,79 @@
+//! AdaptDL/Pollux-style policy: adaptive total batch, always-even split.
+
+use super::{EpochPlan, EpochObservation, Policy, PolicyContext};
+use crate::error::CannikinError;
+use crate::gns::goodput;
+use crate::optperf::{even_split, predict_batch_time};
+use cannikin_telemetry::SplitSource;
+
+/// The state-of-the-art *homogeneous* adaptive planner: maximize goodput
+/// over the total batch — exactly like Cannikin — but give every rank
+/// `B/n` samples. In a homogeneous cluster this *is* Cannikin (§6); in a
+/// heterogeneous one every batch still waits for the straggler.
+#[derive(Debug, Default)]
+pub struct EvenSplit;
+
+impl EvenSplit {
+    /// Create the (stateless) even-split policy.
+    pub fn new() -> Self {
+        EvenSplit
+    }
+}
+
+/// The same geometric candidate grid Cannikin's goodput engine uses, for
+/// a fair comparison.
+fn candidates(base_batch: u64, max_batch: u64, n: usize) -> Vec<u64> {
+    let lo = (base_batch.max(n as u64)) as f64;
+    let hi = max_batch as f64;
+    let count = ((hi / lo).log10() * 12.0).ceil().clamp(2.0, 40.0) as usize;
+    let mut out: Vec<u64> = (0..=count).map(|i| (lo * (hi / lo).powf(i as f64 / count as f64)).round() as u64).collect();
+    out.dedup();
+    out
+}
+
+impl Policy for EvenSplit {
+    fn name(&self) -> &'static str {
+        "even"
+    }
+
+    fn ask(&mut self, ctx: &PolicyContext) -> Result<EpochPlan, CannikinError> {
+        let n = ctx.nodes;
+        let used_model = ctx.solver_input.is_some();
+        let total = if !ctx.adaptive {
+            ctx.base_batch
+        } else if let (Some(input), Some(phi)) = (&ctx.solver_input, ctx.phi) {
+            // Goodput over candidates, throughput predicted for the
+            // homogeneous (even) split.
+            candidates(ctx.base_batch, ctx.max_batch, n)
+                .into_iter()
+                .max_by(|&a, &b| {
+                    let ga = goodput(phi, ctx.base_batch, a, predict_batch_time(input, &even_split(a, n)));
+                    let gb = goodput(phi, ctx.base_batch, b, predict_batch_time(input, &even_split(b, n)));
+                    ga.total_cmp(&gb)
+                })
+                .unwrap_or(ctx.base_batch)
+        } else if ctx.epoch == 0 || ctx.solver_input.is_some() {
+            // Models without a GNS estimate pin the base batch; so does
+            // the very first epoch.
+            ctx.base_batch
+        } else {
+            // The throughput model needs two batch sizes to fit; perturb
+            // the batch upward once.
+            ((ctx.base_batch as f64 * 1.5).round() as u64).min(ctx.max_batch)
+        };
+        let source = if used_model { SplitSource::Solver } else { SplitSource::EvenInit };
+        Ok(EpochPlan {
+            total,
+            local: even_split(total, n),
+            accumulation: 1,
+            source,
+            used_model,
+            pattern: None,
+            predicted_t: None,
+        })
+    }
+
+    fn tell(&mut self, _obs: &EpochObservation) {
+        // Stateless: the fitted models arrive through the next context.
+    }
+}

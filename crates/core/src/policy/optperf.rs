@@ -1,0 +1,184 @@
+//! The paper's planner as a [`Policy`]: OptPerf splits + goodput-driven
+//! total batch selection.
+
+use super::{EpochPlan, EpochObservation, Policy, PolicyContext};
+use crate::error::CannikinError;
+use crate::goodput::GoodputEngine;
+use crate::optperf::{bootstrap_split, ensure_distinct_split, even_split, OptPerfSolver};
+use cannikin_telemetry::SplitSource;
+
+/// How the engine measures — the two engines historically planned with
+/// slightly different machinery, preserved here branch for branch.
+enum Mode {
+    /// Simulation-driven ([`crate::engine::CannikinTrainer`]): stateful
+    /// [`GoodputEngine`] over the geometric candidate grid, warm-start
+    /// attribution, and the Eq. (8) growth bootstrap before models fit.
+    Simulated {
+        goodput: GoodputEngine,
+        base_batch: u64,
+        max_batch: u64,
+        warm_started: bool,
+    },
+    /// Measured ([`crate::engine::ParallelTrainer`]): stateless
+    /// doubling-grid total search that tolerates an absent GNS estimate,
+    /// with a fixed-base bootstrap.
+    Measured,
+}
+
+/// Extraction of the previously-inline `run_epoch` planning logic —
+/// bitwise-identical to it under pinned seed (`tests/policy.rs`).
+pub struct OptPerfGoodput {
+    mode: Mode,
+}
+
+impl OptPerfGoodput {
+    /// Planner for a simulation-driven engine over `[base_batch,
+    /// max_batch]` on `nodes` nodes.
+    pub fn simulated(base_batch: u64, nodes: usize, max_batch: u64) -> Self {
+        OptPerfGoodput {
+            mode: Mode::Simulated {
+                goodput: GoodputEngine::new(base_batch, base_batch.max(nodes as u64), max_batch),
+                base_batch,
+                max_batch,
+                warm_started: false,
+            },
+        }
+    }
+
+    /// Planner for a measured engine.
+    pub fn measured() -> Self {
+        OptPerfGoodput { mode: Mode::Measured }
+    }
+
+    fn ask_simulated(ctx: &PolicyContext, goodput: &mut GoodputEngine, warm_started: &mut bool) -> Result<EpochPlan, CannikinError> {
+        let n = ctx.nodes;
+        let phi = ctx.phi.unwrap_or(0.0);
+        let mut used_model = false;
+        let mut pattern = None;
+        let mut accumulation = 1u64;
+        let mut predicted_t = None;
+        let mut source = SplitSource::Bootstrap;
+        let (total, local) = if let Some(input) = ctx.solver_input.clone() {
+            let mut solver = OptPerfSolver::new(input);
+            source = if *warm_started { SplitSource::WarmStart } else { SplitSource::Solver };
+            *warm_started = false;
+            if ctx.adaptive {
+                let sel = goodput.select(&mut solver, phi)?;
+                used_model = true;
+                pattern = Some(sel.plan.pattern.clone());
+                accumulation = sel.accumulation;
+                predicted_t = Some(sel.plan.opt_perf);
+                (sel.total, sel.plan.local_batches)
+            } else {
+                let plan = solver.solve(ctx.base_batch)?;
+                used_model = true;
+                pattern = Some(plan.pattern.clone());
+                predicted_t = Some(plan.opt_perf);
+                (ctx.base_batch, plan.local_batches)
+            }
+        } else if ctx.epoch == 0 || ctx.last_split.is_empty() {
+            source = SplitSource::EvenInit;
+            (ctx.base_batch, even_split(ctx.base_batch, n))
+        } else {
+            // Growth bootstrap: perturb the total once so the linear models
+            // see two batch sizes, then hold it until the solver takes over.
+            let total = if ctx.epoch == 1 && ctx.adaptive {
+                ((ctx.base_batch as f64 * 1.5).round() as u64).min(ctx.max_batch)
+            } else if ctx.epoch >= 2 {
+                ctx.last_split.iter().sum::<u64>()
+            } else {
+                ctx.base_batch
+            };
+            let split = bootstrap_split(&ctx.per_sample_times, total);
+            (total, ensure_distinct_split(&ctx.last_split, split))
+        };
+        Ok(EpochPlan { total, local, accumulation, source, used_model, pattern, predicted_t })
+    }
+
+    fn ask_measured(ctx: &PolicyContext) -> EpochPlan {
+        let n = ctx.nodes;
+        let mut used_model = false;
+        let mut predicted_t = None;
+        let mut pattern = None;
+        let mut source = SplitSource::Bootstrap;
+        let (total, local) = if let Some(input) = ctx.solver_input.clone() {
+            let mut solver = OptPerfSolver::new(input);
+            let total = if ctx.adaptive { pick_total(ctx, &mut solver) } else { ctx.base_batch };
+            match solver.solve(total) {
+                Ok(plan) => {
+                    used_model = true;
+                    source = SplitSource::Solver;
+                    predicted_t = Some(plan.opt_perf);
+                    pattern = Some(plan.pattern.clone());
+                    (total, plan.local_batches)
+                }
+                Err(_) => {
+                    source = SplitSource::EvenInit;
+                    (ctx.base_batch, even_split(ctx.base_batch, n))
+                }
+            }
+        } else if ctx.epoch == 0 || ctx.last_split.is_empty() {
+            source = SplitSource::EvenInit;
+            (ctx.base_batch, even_split(ctx.base_batch, n))
+        } else {
+            let split = bootstrap_split(&ctx.per_sample_times, ctx.base_batch);
+            (ctx.base_batch, ensure_distinct_split(&ctx.last_split, split))
+        };
+        EpochPlan { total, local, accumulation: 1, source, used_model, pattern, predicted_t }
+    }
+}
+
+/// Goodput-style total-batch pick over a tiny doubling grid (the measured
+/// datasets are small, so the full cache machinery of [`GoodputEngine`]
+/// is unnecessary).
+fn pick_total(ctx: &PolicyContext, solver: &mut OptPerfSolver) -> u64 {
+    let Some(phi) = ctx.phi else {
+        return ctx.base_batch;
+    };
+    let n = ctx.nodes as u64;
+    let mut best = (ctx.base_batch, f64::MIN);
+    let mut b = ctx.base_batch.max(n);
+    while b <= ctx.max_batch && (b as usize) <= ctx.dataset_size {
+        if let Ok(plan) = solver.solve(b) {
+            let g = crate::gns::goodput(phi, ctx.base_batch, b, plan.opt_perf);
+            if g > best.1 {
+                best = (b, g);
+            }
+        }
+        b *= 2;
+    }
+    best.0
+}
+
+impl Policy for OptPerfGoodput {
+    fn name(&self) -> &'static str {
+        "optperf"
+    }
+
+    fn ask(&mut self, ctx: &PolicyContext) -> Result<EpochPlan, CannikinError> {
+        match &mut self.mode {
+            Mode::Simulated { goodput, warm_started, .. } => Self::ask_simulated(ctx, goodput, warm_started),
+            Mode::Measured => Ok(Self::ask_measured(ctx)),
+        }
+    }
+
+    fn tell(&mut self, _obs: &EpochObservation) {
+        // The goodput engine learns through the analyzer models the engine
+        // passes back via `PolicyContext::solver_input`; realized timings
+        // carry no extra signal for this planner.
+    }
+
+    fn on_warm_start(&mut self) {
+        if let Mode::Simulated { warm_started, .. } = &mut self.mode {
+            *warm_started = true;
+        }
+    }
+
+    fn on_membership_change(&mut self, nodes: usize) {
+        if let Mode::Simulated { goodput, base_batch, max_batch, .. } = &mut self.mode {
+            // Same rebuild the engines performed inline: new candidate
+            // floor at the new node count, caches invalidated.
+            *goodput = GoodputEngine::new(*base_batch, (*base_batch).max(nodes as u64), *max_batch);
+        }
+    }
+}

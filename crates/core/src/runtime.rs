@@ -10,6 +10,7 @@
 //! | `CANNIKIN_TRANSPORT` | collective backend: `inprocess`, `tcp`, `tcp:ADDR`  |
 //! | `CANNIKIN_CODEC`     | gradient codec: `none`, `bf16`, `f16`, `topk:N`     |
 //! | `CANNIKIN_SIMD`      | GEMM kernel policy: `auto`, `scalar`, `avx2`, `off` |
+//! | `CANNIKIN_POLICY`    | adaptation policy: `optperf`, `even`, `lbbsp`, `rl` |
 //!
 //! **Precedence is builder > env > default**: a value set explicitly on a
 //! trainer builder always wins; an env variable fills in anything the
@@ -26,6 +27,7 @@
 //! gives front-ends a strict validation point so typos still surface.
 
 use crate::error::CannikinError;
+use crate::policy::PolicyKind;
 use cannikin_collectives::{Codec, TransportKind};
 use cannikin_telemetry::env::{parse_targets, ExportTarget};
 use minidnn::tensor::simd::SimdPolicy;
@@ -35,6 +37,9 @@ pub const TRANSPORT_ENV: &str = "CANNIKIN_TRANSPORT";
 
 /// Name of the gradient-codec environment variable.
 pub const CODEC_ENV: &str = "CANNIKIN_CODEC";
+
+/// Name of the adaptation-policy environment variable.
+pub const POLICY_ENV: &str = "CANNIKIN_POLICY";
 
 /// Re-export of the GEMM kernel-policy variable name for one-stop lookup
 /// (the kernels themselves read it leniently; see the module docs).
@@ -64,6 +69,9 @@ pub struct RuntimeOptions {
     /// GEMM kernel policy from `CANNIKIN_SIMD` (`None` = unset = runtime
     /// auto-detection).
     pub simd: Option<SimdPolicy>,
+    /// Adaptation policy from `CANNIKIN_POLICY` (`None` = unset; the
+    /// engines then default to [`PolicyKind::OptPerf`]).
+    pub policy: Option<PolicyKind>,
 }
 
 impl RuntimeOptions {
@@ -92,6 +100,7 @@ impl RuntimeOptions {
         }
         options.transport = Self::transport_from_env()?;
         options.codec = Self::codec_from_env()?;
+        options.policy = Self::policy_from_env()?;
         if let Ok(raw) = std::env::var(SIMD_ENV) {
             let trimmed = raw.trim();
             if !trimmed.is_empty() {
@@ -145,6 +154,26 @@ impl RuntimeOptions {
         }
     }
 
+    /// Parse only the `CANNIKIN_POLICY` knob (`None` when unset), isolated
+    /// for the same reason as [`RuntimeOptions::transport_from_env`]: a
+    /// malformed unrelated variable must not fail a build that never reads
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`CannikinError::InvalidConfig`] when the variable is set but
+    /// unparseable.
+    pub fn policy_from_env() -> Result<Option<PolicyKind>, CannikinError> {
+        match std::env::var(POLICY_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => raw
+                .trim()
+                .parse()
+                .map(Some)
+                .map_err(|e| CannikinError::InvalidConfig(format!("{POLICY_ENV}: {e}"))),
+            _ => Ok(None),
+        }
+    }
+
     /// The transport to use given an optional builder-level override:
     /// builder > env > [`TransportKind::InProcess`].
     pub fn resolve_transport(&self, builder: Option<TransportKind>) -> TransportKind {
@@ -155,6 +184,12 @@ impl RuntimeOptions {
     /// builder > env > [`Codec::None`].
     pub fn resolve_codec(&self, builder: Option<Codec>) -> Codec {
         builder.or(self.codec).unwrap_or_default()
+    }
+
+    /// The adaptation policy to use given an optional builder-level
+    /// override: builder > env > [`PolicyKind::OptPerf`].
+    pub fn resolve_policy(&self, builder: Option<PolicyKind>) -> PolicyKind {
+        builder.or(self.policy).unwrap_or_default()
     }
 }
 
@@ -195,6 +230,7 @@ mod tests {
                 (TRANSPORT_ENV, None),
                 (CODEC_ENV, None),
                 (SIMD_ENV, None),
+                (POLICY_ENV, None),
             ],
             RuntimeOptions::from_env,
         )
@@ -204,8 +240,10 @@ mod tests {
         assert_eq!(options.transport, None);
         assert_eq!(options.codec, None);
         assert_eq!(options.simd, None);
+        assert_eq!(options.policy, None);
         assert_eq!(options.resolve_transport(None), TransportKind::InProcess);
         assert_eq!(options.resolve_codec(None), Codec::None);
+        assert_eq!(options.resolve_policy(None), PolicyKind::OptPerf);
     }
 
     #[test]
@@ -217,6 +255,7 @@ mod tests {
                 (TRANSPORT_ENV, Some("tcp:127.0.0.1:5000")),
                 (CODEC_ENV, Some("topk:125")),
                 (SIMD_ENV, Some("scalar")),
+                (POLICY_ENV, Some("rl")),
             ],
             RuntimeOptions::from_env,
         )
@@ -229,6 +268,7 @@ mod tests {
         );
         assert_eq!(options.codec, Some(Codec::TopK { permille: 125 }));
         assert_eq!(options.simd, Some(SimdPolicy::Scalar));
+        assert_eq!(options.policy, Some(PolicyKind::Rl));
     }
 
     #[test]
@@ -240,6 +280,7 @@ mod tests {
             (CODEC_ENV, "int3"),
             (CODEC_ENV, "topk:0"),
             (SIMD_ENV, "avx1024"),
+            (POLICY_ENV, "alphago"),
         ] {
             let err = with_env(
                 &[
@@ -248,6 +289,7 @@ mod tests {
                     (TRANSPORT_ENV, (var == TRANSPORT_ENV).then_some(value)),
                     (CODEC_ENV, (var == CODEC_ENV).then_some(value)),
                     (SIMD_ENV, (var == SIMD_ENV).then_some(value)),
+                    (POLICY_ENV, (var == POLICY_ENV).then_some(value)),
                 ],
                 RuntimeOptions::from_env,
             )
@@ -280,6 +322,26 @@ mod tests {
     }
 
     #[test]
+    fn policy_parse_ignores_unrelated_knobs_and_lists_alternatives() {
+        let policy = with_env(
+            &[(TRANSPORT_ENV, Some("carrier-pigeon")), (POLICY_ENV, Some("lbbsp"))],
+            RuntimeOptions::policy_from_env,
+        )
+        .expect("unrelated knob must not fail the policy parse");
+        assert_eq!(policy, Some(PolicyKind::LbBsp));
+
+        // Mirror of the TransportKind contract: a bad value names the
+        // variable and the error lists every valid alternative.
+        let err = with_env(&[(POLICY_ENV, Some("alphago"))], RuntimeOptions::policy_from_env)
+            .expect_err("malformed policy is a hard error");
+        let msg = err.to_string();
+        assert!(msg.contains(POLICY_ENV), "{msg} should name {POLICY_ENV}");
+        for alt in ["optperf", "even", "lbbsp", "rl"] {
+            assert!(msg.contains(alt), "{msg} should list `{alt}`");
+        }
+    }
+
+    #[test]
     fn builder_overrides_env_overrides_default() {
         let from_env = RuntimeOptions {
             transport: Some(TransportKind::tcp()),
@@ -297,5 +359,11 @@ mod tests {
         assert_eq!(from_env.resolve_codec(Some(Codec::Bf16)), Codec::Bf16);
         assert_eq!(from_env.resolve_codec(None), Codec::F16);
         assert_eq!(RuntimeOptions::default().resolve_codec(None), Codec::None);
+
+        // And so does the policy knob.
+        let from_env = RuntimeOptions { policy: Some(PolicyKind::Even), ..RuntimeOptions::default() };
+        assert_eq!(from_env.resolve_policy(Some(PolicyKind::Rl)), PolicyKind::Rl);
+        assert_eq!(from_env.resolve_policy(None), PolicyKind::Even);
+        assert_eq!(RuntimeOptions::default().resolve_policy(None), PolicyKind::OptPerf);
     }
 }

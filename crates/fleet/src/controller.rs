@@ -925,6 +925,7 @@ impl FleetController {
             .simulator(sim)
             .noise(job.spec.noise)
             .config(job.spec.config.clone())
+            .policy(job.spec.policy)
             .build()
             .map_err(FleetError::Train)?;
         if job.saved.2 > 0 {
@@ -1079,6 +1080,25 @@ mod tests {
             let report = fleet.run_to_completion(4_000).unwrap();
             assert!(report.jobs.iter().all(|j| j.finished_at > 0.0), "{policy:?} drains");
         }
+    }
+
+    #[test]
+    fn per_job_adaptation_policies_drain() {
+        use cannikin_core::policy::PolicyKind;
+        let specs = vec![
+            FleetJobSpec::new("opt", JobSpec::resnet18_cifar10(), TrainerConfig::new(6_400, 64, 512), 1.0)
+                .seed(1),
+            FleetJobSpec::new("even", JobSpec::resnet18_cifar10(), TrainerConfig::new(6_400, 64, 512), 1.0)
+                .policy(PolicyKind::Even)
+                .seed(2),
+            FleetJobSpec::new("rl", JobSpec::neumf_movielens(), TrainerConfig::new(6_400, 64, 512), 1.0)
+                .policy(PolicyKind::Rl)
+                .seed(3),
+        ];
+        let mut fleet = FleetController::new(nodes4(), specs, AllocPolicy::Cannikin).unwrap();
+        let report = fleet.run_to_completion(4_000).unwrap();
+        assert_eq!(report.jobs.len(), 3);
+        assert!(report.jobs.iter().all(|j| j.finished_at > 0.0), "all policies drain");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Job submissions: what a tenant hands the fleet control plane.
 
 use cannikin_core::engine::{LinearNoiseGrowth, TrainerConfig};
+use cannikin_core::policy::PolicyKind;
 use cannikin_telemetry::SloRule;
 use hetsim::job::JobSpec;
 use hetsim::FaultPlan;
@@ -73,6 +74,9 @@ pub struct FleetJobSpec {
     /// alongside the fleet-wide defaults (see
     /// [`crate::FleetController::slo_rules`]).
     pub slos: Vec<SloRule>,
+    /// Adaptation policy the job's trainer plans with (default: the
+    /// paper's OptPerf + goodput planner).
+    pub policy: PolicyKind,
 }
 
 impl FleetJobSpec {
@@ -96,6 +100,7 @@ impl FleetJobSpec {
             seed: 0,
             fault_plan: None,
             slos: Vec::new(),
+            policy: PolicyKind::OptPerf,
         }
     }
 
@@ -132,6 +137,12 @@ impl FleetJobSpec {
     /// Set the job's simulator seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the adaptation policy the job's trainer plans with.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 

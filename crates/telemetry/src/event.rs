@@ -75,6 +75,19 @@ pub struct SplitDecision {
     pub source: SplitSource,
 }
 
+/// The adaptation policy that produced the epoch's plan — emitted next to
+/// the [`SplitDecision`] it annotates, so a trace names *who* decided
+/// alongside *what* was decided.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDecision {
+    /// Stable policy name (e.g. `optperf`, `even`, `lbbsp`, `rl`).
+    pub policy: String,
+    /// Epoch the plan applies to.
+    pub epoch: u64,
+    /// Total batch size the policy proposed.
+    pub total: u64,
+}
+
 /// One gradient-noise-scale estimate (Eq. (10) + Theorem 4.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GnsEstimated {
@@ -458,6 +471,8 @@ pub enum Event {
     StepTiming(StepTiming),
     /// A local-batch split decision.
     SplitDecision(SplitDecision),
+    /// The policy that authored the adjacent split decision.
+    PolicyDecision(PolicyDecision),
     /// A gradient-noise-scale estimate.
     GnsEstimated(GnsEstimated),
     /// A goodput-driven batch-size selection.
@@ -500,6 +515,7 @@ impl Event {
         match self {
             Event::StepTiming(_) => "step_timing",
             Event::SplitDecision(_) => "split_decision",
+            Event::PolicyDecision(_) => "policy_decision",
             Event::GnsEstimated(_) => "gns_estimate",
             Event::GoodputEval(_) => "goodput_eval",
             Event::AllReduceBucket(_) => "all_reduce_bucket",
@@ -583,6 +599,11 @@ pub(crate) fn event_fields(event: &Event) -> Vec<(String, Json)> {
             ("local".into(), Json::Arr(e.local.iter().map(|&b| Json::Num(b as f64)).collect())),
             ("predicted_t".into(), e.predicted_t.map_or(Json::Null, Json::num)),
             ("source".into(), Json::Str(e.source.as_str().into())),
+        ],
+        Event::PolicyDecision(e) => vec![
+            ("policy".into(), Json::Str(e.policy.clone())),
+            ("epoch".into(), Json::Num(e.epoch as f64)),
+            ("total".into(), Json::Num(e.total as f64)),
         ],
         Event::GnsEstimated(e) => vec![
             ("b_noise".into(), Json::num(e.b_noise)),
@@ -705,6 +726,11 @@ fn event_from_fields(kind: &str, v: &Json) -> Result<Event, String> {
                 .ok_or("missing or unknown `source`")?;
             Ok(Event::SplitDecision(SplitDecision { total: req_u64(v, "total")?, local, predicted_t, source }))
         }
+        "policy_decision" => Ok(Event::PolicyDecision(PolicyDecision {
+            policy: req_str(v, "policy")?,
+            epoch: req_u64(v, "epoch")?,
+            total: req_u64(v, "total")?,
+        })),
         "gns_estimate" => {
             let weights = v
                 .get("weights")
@@ -883,6 +909,7 @@ mod tests {
                 source: SplitSource::Solver,
             }),
             Event::SplitDecision(SplitDecision { total: 3, local: vec![1, 1, 1], predicted_t: None, source: SplitSource::EvenInit }),
+            Event::PolicyDecision(PolicyDecision { policy: "optperf".into(), epoch: 4, total: 128 }),
             Event::GnsEstimated(GnsEstimated { b_noise: 310.5, grad_sq: 2.0, variance: 621.0, weights: vec![0.5, 0.25, 0.25] }),
             Event::GoodputEval(GoodputEval { phi: 300.0, total: 512, goodput: 123.5, accumulation: 2, candidates: 13, cache_rebuilt: true }),
             Event::AllReduceBucket(AllReduceBucket { bucket: 3, elems: 4096, wall_ns: 1_250_000, bytes: 16_384 }),
@@ -1002,7 +1029,7 @@ mod tests {
     #[test]
     fn kinds_are_distinct() {
         let kinds: std::collections::HashSet<&str> = one_of_each().iter().map(Event::kind).collect();
-        assert_eq!(kinds.len(), 18);
+        assert_eq!(kinds.len(), 19);
     }
 
     #[test]

@@ -55,8 +55,9 @@ pub mod trace;
 pub use env::{export_from_env, export_to, parse_targets, ExportTarget};
 pub use event::{
     AllReduceBucket, AnomalyDetected, AnomalyKind, Counter, Event, FaultInjected, FaultKind, FleetDecision,
-    FleetJobSample, GnsEstimated, GoodputEval, JobAdmitted, JobPreempted, NodeGranted, PreemptKind, Record,
-    RecoveryAction, RecoveryKind, SloViolation, SolverInvocation, Span, SplitDecision, SplitSource, StepTiming,
+    FleetJobSample, GnsEstimated, GoodputEval, JobAdmitted, JobPreempted, NodeGranted, PolicyDecision, PreemptKind,
+    Record, RecoveryAction, RecoveryKind, SloViolation, SolverInvocation, Span, SplitDecision, SplitSource,
+    StepTiming,
 };
 pub use hist::{Histogram, LayoutMismatch};
 pub use series::{Labels, SeriesRecorder, SeriesStore, WindowStats};

@@ -411,6 +411,9 @@ impl SeriesStore {
             Event::Counter(e) => {
                 self.gauge_set(&e.name, Labels::new(), e.value);
             }
+            Event::PolicyDecision(e) => {
+                self.counter_add("policy_decisions_total", Labels::new().with("policy", e.policy.clone()), 1.0);
+            }
             Event::SplitDecision(_) | Event::SpanBegin(_) | Event::SpanEnd(_) => {}
         }
     }

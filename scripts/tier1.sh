@@ -22,6 +22,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "==> cargo test --test chaos --release -q (all fault schedules)"
 cargo test --test chaos --release -q
 
+echo "==> cargo test --test policy --release -q (policy equivalence + determinism)"
+cargo test --test policy --release -q
+
 echo "==> cargo test -p cannikin-fleet --release -q (fleet control plane)"
 cargo test -p cannikin-fleet --release -q
 

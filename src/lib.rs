@@ -83,9 +83,11 @@ pub use minidnn as dnn;
 ///
 /// Re-exports the two trainers and their builders, their config/report
 /// types, the error type, the runtime-options struct, the OptPerf solver,
-/// the simulator and cluster-description types, the collective layer
-/// (including the pluggable [`TransportKind`](prelude::TransportKind)),
-/// and the health monitor. Specialized types stay at their crate paths
+/// the ask/tell adaptation policies (the [`Policy`](prelude::Policy)
+/// trait, [`PolicyKind`](prelude::PolicyKind), and the four shipped
+/// implementations), the simulator and cluster-description types, the
+/// collective layer (including the pluggable
+/// [`TransportKind`](prelude::TransportKind)), and the health monitor. Specialized types stay at their crate paths
 /// (`cannikin::core::gns`, `cannikin::telemetry`, …).
 pub mod prelude {
     pub use cannikin_collectives::{
@@ -96,6 +98,10 @@ pub mod prelude {
         ParallelEpochReport, ParallelTrainer, ParallelTrainerBuilder, TrainerConfig, TrainingSubject,
     };
     pub use cannikin_core::optperf::{OptPerfSolver, SolverInput};
+    pub use cannikin_core::policy::{
+        EpochObservation, EpochPlan, EvenSplit, LbBspIterative, OptPerfGoodput, Policy, PolicyContext,
+        PolicyKind, RlBatchPolicy,
+    };
     pub use cannikin_core::{CannikinError, RuntimeOptions};
     pub use cannikin_fleet::{AllocPolicy, FleetController, FleetJobSpec, FleetReport, Priority};
     pub use cannikin_insight::Monitor;

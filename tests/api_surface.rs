@@ -1,10 +1,8 @@
 //! Public-API acceptance tests (ISSUE 5): the `cannikin::prelude` plus
 //! the trainer builders must cover everyday use end to end on *both*
-//! collective transports, the deprecated constructors must keep working,
-//! and a weighted all-reduce must produce bitwise-identical results over
-//! in-process channels and real TCP sockets.
-
-#![allow(deprecated)] // the compatibility tests below exercise the old constructors on purpose
+//! collective transports, and a weighted all-reduce must produce
+//! bitwise-identical results over in-process channels and real TCP
+//! sockets.
 
 use cannikin::dnn::data::gaussian_blobs;
 use cannikin::dnn::models::mlp_classifier;
@@ -135,21 +133,23 @@ fn weighted_all_reduce_matches_bitwise_across_backends() {
     assert_eq!(per_backend[0], per_backend[1], "in-process and tcp must agree bitwise");
 }
 
-/// The deprecated constructors still compile and train (compatibility
-/// guarantee for downstream code that has not migrated yet).
+/// Every adaptation policy is selectable through the builder, and each
+/// one plans a full epoch on the simulated engine.
 #[test]
-fn deprecated_constructors_still_work() {
-    let sim = Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), 3);
-    let noise = Box::new(LinearNoiseGrowth { initial: 300.0, rate: 0.5 });
-    let mut trainer = CannikinTrainer::new(sim, noise, TrainerConfig::new(6_400, 64, 512));
-    let record = trainer.run_epoch().expect("epoch");
-    assert_eq!(record.local_batches.len(), 3);
-
-    let config = ParallelConfig::hetero_default(48);
-    let mut parallel =
-        ParallelTrainer::new(gaussian_blobs(384, 6, 8, 21), |seed| mlp_classifier(8, 16, 6, seed), config);
-    let report = parallel.run_epoch().expect("epoch");
-    assert!(report.mean_loss.is_finite());
+fn every_policy_kind_trains_through_the_builder() {
+    for kind in [PolicyKind::OptPerf, PolicyKind::Even, PolicyKind::LbBsp, PolicyKind::Rl] {
+        let mut trainer = CannikinTrainer::builder()
+            .simulator(Simulator::new(cluster3(), JobSpec::resnet18_cifar10(), 11))
+            .noise(LinearNoiseGrowth { initial: 300.0, rate: 0.5 })
+            .dataset_size(6_400)
+            .batch_range(64, 512)
+            .policy(kind)
+            .build()
+            .expect("valid configuration");
+        let record = trainer.run_epoch().expect("epoch");
+        assert_eq!(record.local_batches.len(), 3, "{kind}: one share per node");
+        assert_eq!(record.local_batches.iter().sum::<u64>(), record.total_batch, "{kind}");
+    }
 }
 
 /// `RuntimeOptions` is reachable from the prelude and resolves the

@@ -186,6 +186,24 @@ fn optperf_goodput_warm_start_run_matches_golden() {
     check_golden("trainer_warm_records.txt", &records_text(&records));
 }
 
+/// The bandit policy is deterministic under its pinned seed: two
+/// identical trainers produce bitwise-identical epoch records, so RL
+/// cells in the scenario matrix stay byte-stable across CI runs.
+#[test]
+fn rl_policy_same_seed_runs_are_bitwise_identical() {
+    let run = || {
+        let mut t = builder(13, true).policy(PolicyKind::Rl).build().expect("valid config");
+        records_text(&t.run_epochs(12).expect("run"))
+    };
+    let first = run();
+    assert_eq!(first, run(), "same-seed RL runs must agree bit for bit");
+    // And the bandit must actually explore: batch totals move off B0.
+    assert!(
+        first.lines().any(|l| !l.contains("total=64 ")),
+        "the bandit never left the base batch:\n{first}"
+    );
+}
+
 /// A mid-epoch crash forces the eviction + replan path, which also
 /// rebuilds the goodput candidate cache — the planner state the refactor
 /// moves into the policy.
